@@ -1,0 +1,177 @@
+//! Criterion micro-benchmarks of the performance-critical primitives:
+//! hard/soft join throughput, group-by pre-aggregation, OSNAP sketching,
+//! the ℓ2,1 IRLS solver, random-forest fitting and RIFS fractions.
+
+use arda_bench::bench_rifs;
+use arda_coreset::sketch_xy;
+use arda_join::{execute_join, JoinSpec, SoftMethod};
+use arda_linalg::{stats::standardize_columns, Matrix};
+use arda_ml::{Dataset, ForestConfig, RandomForest, Task};
+use arda_select::rifs_fractions;
+use arda_select::sparse_regression::{l21_solve, target_matrix, L21Config};
+use arda_synth::{taxi, ScenarioConfig};
+use arda_table::{Column, GroupBy, Table};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn tables(n_base: usize, n_foreign: usize) -> (Table, Table) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let base = Table::new(
+        "base",
+        vec![
+            Column::from_i64("k", (0..n_base).map(|i| (i % 500) as i64).collect()),
+            Column::from_f64("v", (0..n_base).map(|_| rng.gen()).collect()),
+        ],
+    )
+    .unwrap();
+    let foreign = Table::new(
+        "foreign",
+        vec![
+            Column::from_i64("k", (0..n_foreign).map(|i| i as i64).collect()),
+            Column::from_f64("a", (0..n_foreign).map(|_| rng.gen()).collect()),
+            Column::from_f64("b", (0..n_foreign).map(|_| rng.gen()).collect()),
+        ],
+    )
+    .unwrap();
+    (base, foreign)
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let (base, foreign) = tables(2_000, 500);
+    c.bench_function("hard_join_2k_x_500", |b| {
+        b.iter(|| {
+            black_box(
+                execute_join(&base, &foreign, &JoinSpec::hard("k", "k"), 0).unwrap(),
+            )
+        })
+    });
+    c.bench_function("soft_2way_join_2k_x_500", |b| {
+        let spec = JoinSpec::soft("k", "k", SoftMethod::TwoWayNearest);
+        b.iter(|| black_box(execute_join(&base, &foreign, &spec, 0).unwrap()))
+    });
+}
+
+fn bench_groupby(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = Table::new(
+        "t",
+        vec![
+            Column::from_i64("k", (0..5_000).map(|i| (i % 200) as i64).collect()),
+            Column::from_f64("v", (0..5_000).map(|_| rng.gen()).collect()),
+        ],
+    )
+    .unwrap();
+    c.bench_function("groupby_aggregate_5k_rows_200_groups", |b| {
+        b.iter(|| {
+            black_box(GroupBy::new(&t, &["k"]).unwrap().aggregate_default().unwrap())
+        })
+    });
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Matrix::from_vec(
+        2_000,
+        50,
+        (0..2_000 * 50).map(|_| rng.gen::<f64>()).collect(),
+    )
+    .unwrap();
+    let y: Vec<f64> = (0..2_000).map(|_| rng.gen()).collect();
+    c.bench_function("osnap_sketch_2000x50_to_200", |b| {
+        b.iter(|| black_box(sketch_xy(&x, &y, false, 200, 0)))
+    });
+}
+
+fn bench_l21(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut x = Matrix::from_vec(
+        400,
+        60,
+        (0..400 * 60).map(|_| rng.gen::<f64>() - 0.5).collect(),
+    )
+    .unwrap();
+    standardize_columns(&mut x);
+    let y: Vec<f64> = (0..400).map(|i| x.get(i, 0) * 3.0 - x.get(i, 1)).collect();
+    let ym = target_matrix(&y, Task::Regression);
+    let cfg = L21Config { max_iter: 10, ..Default::default() };
+    c.bench_function("l21_irls_400x60_10iter", |b| {
+        b.iter(|| black_box(l21_solve(&x, &ym, &cfg).unwrap()))
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let rows: Vec<Vec<f64>> = (0..500)
+        .map(|i| {
+            let cls = (i % 2) as f64;
+            (0..20)
+                .map(|f| if f == 0 { cls * 2.0 + rng.gen::<f64>() } else { rng.gen() })
+                .collect()
+        })
+        .collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let y: Vec<f64> = (0..500).map(|i| (i % 2) as f64).collect();
+    let cfg = ForestConfig { n_trees: 32, max_depth: 10, ..Default::default() };
+    c.bench_function("random_forest_fit_500x20_32trees", |b| {
+        b.iter(|| {
+            black_box(
+                RandomForest::fit_xy(&x, &y, Task::Classification { n_classes: 2 }, &cfg)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_rifs_fractions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| {
+            let cls = (i % 2) as f64;
+            (0..15)
+                .map(|f| if f < 2 { cls * 2.0 + rng.gen::<f64>() } else { rng.gen() })
+                .collect()
+        })
+        .collect();
+    let ds = Dataset::new(
+        Matrix::from_rows(&rows).unwrap(),
+        (0..200).map(|i| (i % 2) as f64).collect(),
+        (0..15).map(|i| format!("f{i}")).collect(),
+        Task::Classification { n_classes: 2 },
+    )
+    .unwrap();
+    let mut cfg = bench_rifs(arda_bench::Scale::Quick);
+    cfg.repeats = 3;
+    c.bench_function("rifs_fractions_200x15_3rep", |b| {
+        b.iter(|| black_box(rifs_fractions(&ds, &cfg, 0).unwrap()))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let sc = taxi(&ScenarioConfig { n_rows: 120, n_decoys: 3, seed: 6 });
+    let repo = arda_discovery::Repository::from_tables(sc.repository.clone());
+    let config = arda_core::ArdaConfig {
+        selector: arda_select::SelectorKind::Ranking(
+            arda_select::RankingMethod::RandomForest,
+        ),
+        ..Default::default()
+    };
+    c.bench_function("pipeline_taxi_120rows_5tables_rf_selector", |b| {
+        b.iter(|| {
+            black_box(
+                arda_core::Arda::new(config.clone())
+                    .run(&sc.base, &repo, &sc.target)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_joins, bench_groupby, bench_sketch, bench_l21, bench_forest,
+              bench_rifs_fractions, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! **Table 2**: coreset-construction comparison for classification —
+//! accuracy change of *stratified sampling* and *sketching* (per-label OSNAP
+//! subspace embedding) over uniform sampling, per feature selector, on
+//! School (S), Digits and Kraken.
+
+use arda_bench::*;
+use arda_coreset::{sketch_xy, stratified_indices, uniform_indices};
+use arda_ml::{featurize, Dataset, FeaturizeOptions};
+use arda_select::{run_selector, SelectionContext, SelectorKind};
+use arda_synth::{append_noise_columns, digits, kraken, school, ScenarioConfig};
+
+/// Accuracy of selector+estimator on a coreset variant of `ds`.
+fn score_with(ds: &Dataset, selector: &SelectorKind, seed: u64) -> f64 {
+    let ctx = SelectionContext::standard(ds, seed);
+    let result = run_selector(ds, selector, &ctx).expect("selector");
+    let (score, _) = evaluate_subset(ds, &result.selected, seed);
+    score
+}
+
+fn main() {
+    let scale = bench_scale();
+    let coreset_rows = match scale {
+        Scale::Quick => 240,
+        Scale::Full => 500,
+    };
+
+    // Featurized classification datasets.
+    let school_sc = school(&ScenarioConfig { n_rows: 400, n_decoys: 8, seed: 21 }, false);
+    let school_ds = full_materialized_dataset(&school_sc, 21);
+    let digits_md = {
+        let d = digits(22);
+        append_noise_columns(&d, 2, 22)
+    };
+    let digits_ds =
+        featurize(&digits_md.table, &digits_md.target, true, &FeaturizeOptions::default())
+            .unwrap();
+    let kraken_md = {
+        let k = kraken(23);
+        append_noise_columns(&k, 2, 23)
+    };
+    let kraken_ds =
+        featurize(&kraken_md.table, &kraken_md.target, true, &FeaturizeOptions::default())
+            .unwrap();
+
+    let datasets: Vec<(&str, &Dataset)> =
+        vec![("school (S)", &school_ds), ("digits", &digits_ds), ("kraken", &kraken_ds)];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, ds) in datasets {
+        let grid = selector_grid(ds.task, scale, false);
+        for (sel_name, selector) in grid {
+            // Uniform baseline.
+            let uni_idx = uniform_indices(ds.n_samples(), coreset_rows, 31);
+            let uni = ds.select_rows(&uni_idx).unwrap();
+            let uni_score = score_with(&uni, &selector, 31);
+
+            // Stratified.
+            let strat_idx = stratified_indices(&ds.y, coreset_rows, 31);
+            let strat = ds.select_rows(&strat_idx).unwrap();
+            let strat_score = score_with(&strat, &selector, 31);
+
+            // Sketch (per-label OSNAP). Sketched rows are synthetic linear
+            // combinations; the class label survives per stratum.
+            let (sx, sy) = sketch_xy(&ds.x, &ds.y, true, coreset_rows, 31);
+            let sk = Dataset::new(sx, sy, ds.feature_names.clone(), ds.task).unwrap();
+            let sk_score = score_with(&sk, &selector, 31);
+
+            rows.push(vec![
+                name.to_string(),
+                sel_name,
+                format!("{:+.2}%", (strat_score - uni_score) * 100.0),
+                format!("{:+.2}%", (sk_score - uni_score) * 100.0),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 2 — coreset strategies for classification (accuracy change vs uniform)",
+        &["dataset", "method", "stratified", "sketch"],
+        &rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! **Table 3**: sketching (joint OSNAP over `[X | y]`) vs uniform sampling
+//! for the regression scenarios (Taxi, Pickup, Poverty), per selector:
+//! %-change in the final score relative to the uniform coreset.
+
+use arda_bench::*;
+use arda_coreset::{sketch_xy, uniform_indices};
+use arda_ml::Dataset;
+use arda_select::{run_selector, SelectionContext, SelectorKind};
+use arda_synth::{pickup, poverty, taxi, ScenarioConfig};
+
+fn score_with(ds: &Dataset, selector: &SelectorKind, seed: u64) -> f64 {
+    let ctx = SelectionContext::standard(ds, seed);
+    let result = run_selector(ds, selector, &ctx).expect("selector");
+    let (score, _) = evaluate_subset(ds, &result.selected, seed);
+    score
+}
+
+fn main() {
+    let scale = bench_scale();
+    let coreset_rows = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 400,
+    };
+    let cfg = |seed| ScenarioConfig { n_rows: 380, n_decoys: 8, seed };
+    let scenarios = vec![taxi(&cfg(41)), pickup(&cfg(42)), poverty(&cfg(43))];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for scenario in scenarios {
+        let ds = full_materialized_dataset(&scenario, 41);
+        for (sel_name, selector) in selector_grid(ds.task, scale, false) {
+            let uni_idx = uniform_indices(ds.n_samples(), coreset_rows, 51);
+            let uni = ds.select_rows(&uni_idx).unwrap();
+            let uni_score = score_with(&uni, &selector, 51);
+
+            // Joint sketch of features and target preserves the regression
+            // subspace (§3.1); selection/training run on sketched rows, but
+            // evaluation must use *real* holdout rows — we evaluate the
+            // selected subset on the uniform coreset.
+            let (sx, sy) = sketch_xy(&ds.x, &ds.y, false, coreset_rows, 51);
+            let sk = Dataset::new(sx, sy, ds.feature_names.clone(), ds.task).unwrap();
+            let ctx = SelectionContext::standard(&sk, 51);
+            let sk_sel = run_selector(&sk, &selector, &ctx).expect("selector");
+            let (sk_score, _) = evaluate_subset(&uni, &sk_sel.selected, 51);
+
+            rows.push(vec![
+                scenario.name.clone(),
+                sel_name,
+                format!("{uni_score:.3}"),
+                format!("{:+.2}%", (sk_score - uni_score) * 100.0),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 3 — sketching vs uniform coresets, regression (% change of score)",
+        &["dataset", "method", "uniform score", "sketch Δ"],
+        &rows,
+    );
+}

@@ -1,0 +1,62 @@
+//! **Table 4**: the Tuple-Ratio rule as a pre-filtering step before RIFS:
+//! score change, speed-up and number of candidates removed, with a
+//! per-dataset threshold τ (the paper tunes τ per dataset; we report the τ
+//! used, mirroring its table layout).
+
+use arda_bench::*;
+use arda_core::ArdaConfig;
+use arda_select::SelectorKind;
+
+fn main() {
+    let scale = bench_scale();
+    let rifs = bench_rifs(scale);
+    // Per-dataset τ mirroring the paper's tuned values (Table 4: 24, 17,
+    // 15, 15, 17 for taxi/pickup/poverty/school-S/school-L). Our scenarios
+    // share key domains ≈ base rows, so smaller τ values bite; values are
+    // tuned per dataset in the same spirit.
+    let taus = [("pickup", 3.0), ("poverty", 2.0), ("school_l", 2.0), ("school_s", 2.0), ("taxi", 4.0)];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for scenario in real_world_scenarios(scale) {
+        let tau = taus
+            .iter()
+            .find(|(n, _)| *n == scenario.name)
+            .map(|(_, t)| *t)
+            .unwrap_or(3.0);
+
+        let plain = run_pipeline(
+            &scenario,
+            ArdaConfig { selector: SelectorKind::Rifs(rifs.clone()), seed: 81, ..Default::default() },
+        );
+        let filtered = run_pipeline(
+            &scenario,
+            ArdaConfig {
+                selector: SelectorKind::Rifs(rifs.clone()),
+                tr_threshold: Some(tau),
+                seed: 81,
+                ..Default::default()
+            },
+        );
+
+        let score_change = if plain.augmented_score.abs() < 1e-12 {
+            0.0
+        } else {
+            (filtered.augmented_score - plain.augmented_score) / plain.augmented_score.abs()
+                * 100.0
+        };
+        let speedup = plain.seconds / filtered.seconds.max(1e-9);
+        rows.push(vec![
+            scenario.name.clone(),
+            format!("{score_change:+.2}%"),
+            format!("{speedup:.2}x"),
+            format!("{}", filtered.tr_eliminated),
+            format!("{tau}"),
+        ]);
+    }
+
+    print_table(
+        "Table 4 — Tuple-Ratio prefiltering before RIFS",
+        &["dataset", "score change", "speed-up", "candidates removed", "tau"],
+        &rows,
+    );
+}

@@ -1,0 +1,68 @@
+//! **Table 5**: table-grouping strategies — final-score change of
+//! *table-join* (one table at a time) and *full materialization* relative to
+//! the default *budget-join*, for four selectors on Taxi, Pickup, Poverty
+//! and School (S). Expected shape: table-join loses co-predictors (worst on
+//! Poverty); full materialization occasionally competitive but never beats
+//! budget by a significant margin under RIFS.
+
+use arda_bench::*;
+use arda_core::{ArdaConfig, JoinPlan};
+use arda_select::{RankingMethod, SelectorKind};
+use arda_synth::{pickup, poverty, school, taxi, ScenarioConfig};
+
+fn main() {
+    let scale = bench_scale();
+    let cfg = |seed| ScenarioConfig { n_rows: 300, n_decoys: 8, seed };
+    let scenarios = vec![
+        taxi(&cfg(91)),
+        pickup(&cfg(92)),
+        poverty(&cfg(93)),
+        school(&cfg(94), false),
+    ];
+    let selectors: Vec<(&str, SelectorKind)> = vec![
+        ("RIFS", SelectorKind::Rifs(bench_rifs(scale))),
+        ("forward selection", SelectorKind::ForwardSelection),
+        ("random forest", SelectorKind::Ranking(RankingMethod::RandomForest)),
+        ("sparse regression", SelectorKind::Ranking(RankingMethod::SparseRegression)),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for scenario in &scenarios {
+        for (sel_name, selector) in &selectors {
+            let run = |plan: JoinPlan| {
+                run_pipeline(
+                    scenario,
+                    ArdaConfig {
+                        selector: selector.clone(),
+                        join_plan: plan,
+                        seed: 91,
+                        ..Default::default()
+                    },
+                )
+                .augmented_score
+            };
+            let budget = run(JoinPlan::Budget { budget: None });
+            let table = run(JoinPlan::Table);
+            let fullmat = run(JoinPlan::FullMaterialization);
+            let pct = |s: f64| {
+                if budget.abs() < 1e-12 {
+                    0.0
+                } else {
+                    (s - budget) / budget.abs() * 100.0
+                }
+            };
+            rows.push(vec![
+                scenario.name.clone(),
+                sel_name.to_string(),
+                format!("{:+.2}%", pct(table)),
+                format!("{:+.2}%", pct(fullmat)),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 5 — join-plan comparison (score change vs budget-join)",
+        &["dataset", "method", "table-join", "full-mat"],
+        &rows,
+    );
+}

@@ -1,0 +1,94 @@
+//! **Table 6**: micro-benchmark results — accuracy and time of every
+//! selector on Kraken and Digits with 10× appended synthetic noise, plus
+//! the no-selection baselines and the AutoML-lite comparators.
+
+use arda_bench::*;
+use arda_ml::{featurize, FeaturizeOptions};
+use arda_select::{run_selector, SelectionContext, SelectorKind};
+use arda_synth::{append_noise_columns, digits, kraken};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let scale = bench_scale();
+    let factor = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 10,
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for (name, micro) in [("kraken", kraken(95)), ("digits", digits(96))] {
+        let noisy = append_noise_columns(&micro, factor, 95);
+        let ds = featurize(&noisy.table, &noisy.target, true, &FeaturizeOptions::default())
+            .unwrap();
+        let ds = match scale {
+            Scale::Quick => {
+                let idx: Vec<usize> = (0..ds.n_samples().min(500)).collect();
+                ds.select_rows(&idx).unwrap()
+            }
+            Scale::Full => ds,
+        };
+        let all: Vec<usize> = (0..ds.n_features()).collect();
+
+        // Baseline: untuned small estimator on everything.
+        let t0 = Instant::now();
+        let (base_acc, _) = {
+            let kind = arda_ml::ModelKind::DecisionTree { max_depth: 8 };
+            let (train, test) = arda_ml::stratified_split(&ds.y, 0.25, 95);
+            let s = arda_ml::model::holdout_score(&ds, &kind, &train, &test, 95).unwrap();
+            (s, 0.0)
+        };
+        rows.push(vec![
+            name.into(),
+            "baseline".into(),
+            format!("{:.2}%", base_acc * 100.0),
+            format!("{:.1}", t0.elapsed().as_secs_f64()),
+        ]);
+
+        // All features with the default estimator.
+        let t1 = Instant::now();
+        let (all_acc, _) = evaluate_subset(&ds, &all, 95);
+        rows.push(vec![
+            name.into(),
+            "all features".into(),
+            format!("{:.2}%", all_acc * 100.0),
+            format!("{:.1}", t1.elapsed().as_secs_f64()),
+        ]);
+
+        // AutoML-lite on all features.
+        let budget = Duration::from_secs(match scale {
+            Scale::Quick => 10,
+            Scale::Full => 60,
+        });
+        let t2 = Instant::now();
+        let automl = arda_core::automl_search(&ds, budget, 95).unwrap();
+        rows.push(vec![
+            name.into(),
+            "AutoML (all)".into(),
+            format!("{:.2}%", automl.best_score * 100.0),
+            format!("{:.1}", t2.elapsed().as_secs_f64()),
+        ]);
+
+        // The selector grid.
+        for (sel_name, selector) in selector_grid(ds.task, scale, true) {
+            if matches!(selector, SelectorKind::AllFeatures) {
+                continue; // already reported
+            }
+            let t = Instant::now();
+            let ctx = SelectionContext::standard(&ds, 95);
+            let sel = run_selector(&ds, &selector, &ctx).unwrap();
+            let (acc, _) = evaluate_subset(&ds, &sel.selected, 95);
+            rows.push(vec![
+                name.into(),
+                sel_name,
+                format!("{:.2}%", acc * 100.0),
+                format!("{:.1}", t.elapsed().as_secs_f64()),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 6 — micro benchmarks (accuracy, time) with injected noise",
+        &["dataset", "method", "accuracy", "time (s)"],
+        &rows,
+    );
+}

@@ -1,0 +1,258 @@
+//! # arda-bench
+//!
+//! Experiment harness regenerating every table and figure of the ARDA
+//! paper's evaluation (§7). One binary per artifact:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `fig3_augmentation` | Fig. 3 — achieved augmentation + time per system |
+//! | `fig4_score_vs_time` | Fig. 4 — score vs selection time per selector |
+//! | `table1_real_world` | Table 1 — error/accuracy + time, full method grid |
+//! | `table2_coreset_classification` | Table 2 — stratified/sketch vs uniform |
+//! | `table3_coreset_regression` | Table 3 — sketch vs uniform (regression) |
+//! | `fig5_soft_joins` | Fig. 5 — soft-join strategies × selectors |
+//! | `fig6_noise_filtering` | Fig. 6 — #features selected, original vs noise |
+//! | `table4_tr_prefilter` | Table 4 — Tuple-Ratio prefiltering |
+//! | `table5_table_grouping` | Table 5 — table/budget/full-mat join plans |
+//! | `table6_micro` | Table 6 — micro-benchmark accuracy + time |
+//!
+//! Scale: set `ARDA_BENCH_SCALE=full` for paper-sized repositories (School
+//! (L) gets 350 tables); the default `quick` profile keeps every binary
+//! under a few minutes. Numbers are *shape*-comparable with the paper, not
+//! absolute: the substrate is the in-repo simulator, not the authors'
+//! testbed (see EXPERIMENTS.md).
+
+use arda_core::{Arda, ArdaConfig};
+use arda_discovery::{discover_joins, DiscoveryConfig, Repository};
+use arda_join::impute::impute;
+use arda_join::{execute_join, JoinKind, JoinSpec};
+use arda_ml::model::holdout_score;
+use arda_ml::{featurize, metrics, Dataset, FeaturizeOptions, ModelKind};
+use arda_select::{RifsConfig, SelectorKind};
+use arda_synth::{pickup, poverty, school, taxi, Scenario, ScenarioConfig};
+
+/// Benchmark scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly sizes (default).
+    Quick,
+    /// Paper-sized repositories.
+    Full,
+}
+
+/// Read the scale from `ARDA_BENCH_SCALE` (`full` → [`Scale::Full`]).
+pub fn bench_scale() -> Scale {
+    match std::env::var("ARDA_BENCH_SCALE").as_deref() {
+        Ok("full") => Scale::Full,
+        _ => Scale::Quick,
+    }
+}
+
+/// The five real-world scenarios of §7.1 at the requested scale, in the
+/// paper's column order: pickup, poverty, school (L), school (S), taxi.
+pub fn real_world_scenarios(scale: Scale) -> Vec<Scenario> {
+    let (rows, k) = match scale {
+        Scale::Quick => (260, 1.0),
+        Scale::Full => (500, 1.0),
+    };
+    let decoys = |paper: usize| match scale {
+        Scale::Quick => ((paper as f64 * 0.4) as usize).max(3),
+        Scale::Full => paper,
+    };
+    let _ = k;
+    vec![
+        pickup(&ScenarioConfig { n_rows: rows, n_decoys: decoys(22), seed: 101 }),
+        poverty(&ScenarioConfig { n_rows: rows, n_decoys: decoys(37), seed: 102 }),
+        school(&ScenarioConfig { n_rows: rows, n_decoys: decoys(348), seed: 103 }, true),
+        school(&ScenarioConfig { n_rows: rows, n_decoys: decoys(14), seed: 104 }, false),
+        taxi(&ScenarioConfig { n_rows: rows, n_decoys: decoys(27), seed: 105 }),
+    ]
+}
+
+/// RIFS configuration used by the harness (paper parameters, bounded solver
+/// iterations for wall-clock sanity).
+pub fn bench_rifs(scale: Scale) -> RifsConfig {
+    match scale {
+        Scale::Quick => RifsConfig {
+            repeats: 5,
+            rf_trees: 16,
+            l21: arda_select::sparse_regression::L21Config { max_iter: 12, ..Default::default() },
+            ..Default::default()
+        },
+        Scale::Full => RifsConfig {
+            repeats: 10,
+            rf_trees: 24,
+            l21: arda_select::sparse_regression::L21Config { max_iter: 20, ..Default::default() },
+            ..Default::default()
+        },
+    }
+}
+
+/// Run the ARDA pipeline on a scenario and return the report.
+pub fn run_pipeline(
+    scenario: &Scenario,
+    config: ArdaConfig,
+) -> arda_core::AugmentationReport {
+    let repo = Repository::from_tables(scenario.repository.clone());
+    Arda::new(config)
+        .run(&scenario.base, &repo, &scenario.target)
+        .expect("pipeline run")
+}
+
+/// Fully materialise a scenario: discover → join *every* candidate → impute
+/// → featurize. Used by the coreset and micro experiments.
+pub fn full_materialized_dataset(scenario: &Scenario, seed: u64) -> Dataset {
+    let repo = Repository::from_tables(scenario.repository.clone());
+    let candidates =
+        discover_joins(&scenario.base, &repo, &DiscoveryConfig::default()).expect("discover");
+    let mut joined = scenario.base.clone();
+    for c in &candidates {
+        let foreign = repo.get(c.table_index).expect("table");
+        let kind = match c.kind {
+            arda_discovery::KeyKind::Soft => {
+                JoinKind::SoftTimeResampled(arda_join::SoftMethod::TwoWayNearest)
+            }
+            arda_discovery::KeyKind::Hard => JoinKind::Hard,
+        };
+        let spec = JoinSpec {
+            base_keys: vec![c.base_key.clone()],
+            foreign_keys: vec![c.foreign_key.clone()],
+            kind,
+        };
+        joined = execute_join(&joined, foreign, &spec, seed).expect("join");
+    }
+    let (imputed, _) = impute(&joined, seed).expect("impute");
+    featurize(&imputed, &scenario.target, false, &FeaturizeOptions::default())
+        .expect("featurize")
+}
+
+/// Fit the paper's default estimator on a feature subset and return
+/// `(higher-better score, error-metric)`: `(accuracy, 1−accuracy)` for
+/// classification, `(R², MAE)` for regression.
+pub fn evaluate_subset(data: &Dataset, selected: &[usize], seed: u64) -> (f64, f64) {
+    let sub = data.select_features(selected).expect("subset");
+    let (train, test) = if data.task.is_classification() {
+        arda_ml::stratified_split(&data.y, 0.25, seed)
+    } else {
+        arda_ml::train_test_split(data.n_samples(), 0.25, seed)
+    };
+    let kind = ModelKind::RandomForest { n_trees: 48, max_depth: 12 };
+    let score = holdout_score(&sub, &kind, &train, &test, seed).expect("score");
+    let tr = sub.select_rows(&train).expect("rows");
+    let te = sub.select_rows(&test).expect("rows");
+    let model = kind.fit(&tr.x, &tr.y, sub.task, seed).expect("fit");
+    let pred = model.predict(&te.x).expect("predict");
+    let err = if data.task.is_classification() {
+        1.0 - metrics::accuracy(&pred, &te.y)
+    } else {
+        metrics::mae(&pred, &te.y)
+    };
+    (score, err)
+}
+
+/// The selector grid of Tables 1/6 and Fig. 4 applicable to `task`.
+/// `include_slow` adds forward/backward/RFE (the order-of-magnitude-slower
+/// wrappers).
+pub fn selector_grid(
+    task: arda_ml::Task,
+    scale: Scale,
+    include_slow: bool,
+) -> Vec<(String, SelectorKind)> {
+    use arda_select::RankingMethod as R;
+    let mut grid: Vec<(String, SelectorKind)> = vec![
+        ("RIFS".into(), SelectorKind::Rifs(bench_rifs(scale))),
+        ("all features".into(), SelectorKind::AllFeatures),
+    ];
+    for m in [
+        R::SparseRegression,
+        R::RandomForest,
+        R::FTest,
+        R::Lasso,
+        R::MutualInfo,
+        R::Relief,
+        R::LinearSvc,
+        R::LogisticRegression,
+    ] {
+        if m.supports(task) {
+            grid.push((m.name().to_string(), SelectorKind::Ranking(m)));
+        }
+    }
+    if include_slow {
+        grid.push(("forward selection".into(), SelectorKind::ForwardSelection));
+        grid.push(("backward selection".into(), SelectorKind::BackwardSelection));
+        grid.push(("RFE".into(), SelectorKind::Rfe));
+    }
+    grid
+}
+
+/// Render an aligned text table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_default_quick() {
+        assert_eq!(bench_scale(), Scale::Quick);
+    }
+
+    #[test]
+    fn scenarios_cover_all_five() {
+        let s = real_world_scenarios(Scale::Quick);
+        let names: Vec<&str> = s.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["pickup", "poverty", "school_l", "school_s", "taxi"]);
+    }
+
+    #[test]
+    fn full_materialization_produces_wide_dataset() {
+        let sc = taxi(&ScenarioConfig { n_rows: 60, n_decoys: 3, seed: 0 });
+        let base_ds =
+            featurize(&sc.base, &sc.target, false, &FeaturizeOptions::default()).unwrap();
+        let ds = full_materialized_dataset(&sc, 0);
+        assert!(ds.n_features() > base_ds.n_features(), "join added features");
+        assert_eq!(ds.n_samples(), 60);
+    }
+
+    #[test]
+    fn evaluate_subset_returns_score_and_error() {
+        let sc = school(&ScenarioConfig { n_rows: 120, n_decoys: 1, seed: 1 }, false);
+        let ds = full_materialized_dataset(&sc, 1);
+        let all: Vec<usize> = (0..ds.n_features()).collect();
+        let (score, err) = evaluate_subset(&ds, &all, 1);
+        assert!((0.0..=1.0).contains(&score));
+        assert!((score + err - 1.0).abs() < 1e-9, "cls: err = 1 - acc");
+    }
+
+    #[test]
+    fn grid_respects_task() {
+        let cls = selector_grid(arda_ml::Task::Classification { n_classes: 2 }, Scale::Quick, true);
+        assert!(cls.iter().any(|(n, _)| n == "linear svc"));
+        assert!(!cls.iter().any(|(n, _)| n == "lasso"));
+        let reg = selector_grid(arda_ml::Task::Regression, Scale::Quick, false);
+        assert!(reg.iter().any(|(n, _)| n == "lasso"));
+        assert!(!reg.iter().any(|(n, _)| n == "RFE"));
+    }
+}

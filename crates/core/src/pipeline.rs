@@ -1,0 +1,413 @@
+//! The ARDA augmentation workflow (§3): coreset → join plan → join
+//! execution → imputation → featurization → feature selection → final
+//! estimate.
+
+use crate::plan::{plan_batches, JoinPlan};
+use crate::{ArdaError, Result};
+use arda_coreset::{row_coreset, CoresetSpec};
+use arda_discovery::{discover_joins, CandidateJoin, DiscoveryConfig, KeyKind, Repository};
+use arda_join::{execute_join, impute::impute, stats::join_stats, JoinKind, JoinSpec, SoftMethod};
+use arda_ml::model::holdout_score;
+use arda_ml::{featurize, Dataset, FeaturizeOptions, ModelKind};
+use arda_select::{run_selector, tuple_ratio_filter, SelectionContext, SelectorKind, TupleRatioDecision};
+use arda_table::{DataType, Table};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Configuration of an ARDA run.
+#[derive(Debug, Clone)]
+pub struct ArdaConfig {
+    /// Coreset construction (method, size, seed).
+    pub coreset: CoresetSpec,
+    /// Table-grouping strategy (default: budget join).
+    pub join_plan: JoinPlan,
+    /// Soft-key strategy (default: two-way nearest neighbour, the paper's
+    /// best performer in Fig. 5).
+    pub soft_method: SoftMethod,
+    /// Feature-selection method (default: RIFS).
+    pub selector: SelectorKind,
+    /// Optional Tuple-Ratio prefilter threshold τ (Table 4); `None` = off.
+    pub tr_threshold: Option<f64>,
+    /// Featurization options.
+    pub featurize: FeaturizeOptions,
+    /// Treat an integer target as class labels.
+    pub force_classification: bool,
+    /// Discovery settings used by [`Arda::run`].
+    pub discovery: DiscoveryConfig,
+    /// Stop processing batches once the selector's holdout score reaches
+    /// this value.
+    pub stop_at_score: Option<f64>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ArdaConfig {
+    fn default() -> Self {
+        ArdaConfig {
+            coreset: CoresetSpec::default(),
+            join_plan: JoinPlan::default(),
+            soft_method: SoftMethod::TwoWayNearest,
+            selector: SelectorKind::Rifs(arda_select::RifsConfig::default()),
+            tr_threshold: None,
+            featurize: FeaturizeOptions::default(),
+            force_classification: false,
+            discovery: DiscoveryConfig::default(),
+            stop_at_score: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A foreign column that survived feature selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedColumn {
+    /// Source repository table.
+    pub table: String,
+    /// Column name in the augmented output.
+    pub column: String,
+}
+
+/// Outcome of an augmentation run.
+#[derive(Debug, Clone)]
+pub struct AugmentationReport {
+    /// The augmented table: the full base coreset plus selected foreign
+    /// columns ("containing all of the user's original dataset as well as
+    /// additional features", §1).
+    pub augmented: Table,
+    /// Foreign columns kept, with provenance.
+    pub selected: Vec<SelectedColumn>,
+    /// Best holdout score of the estimator on the *base* features only.
+    pub base_score: f64,
+    /// Best holdout score on the augmented features.
+    pub augmented_score: f64,
+    /// Estimator that achieved `augmented_score`.
+    pub best_estimator: ModelKind,
+    /// Candidate joins actually executed.
+    pub joins_executed: usize,
+    /// Candidates eliminated by the Tuple-Ratio prefilter.
+    pub tr_eliminated: usize,
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl AugmentationReport {
+    /// Percent improvement of the augmented score over the base score
+    /// (the y-axis of Fig. 3 / Fig. 4).
+    pub fn improvement_pct(&self) -> f64 {
+        if self.base_score.abs() < 1e-12 {
+            return 0.0;
+        }
+        (self.augmented_score - self.base_score) / self.base_score.abs() * 100.0
+    }
+}
+
+/// The ARDA system.
+#[derive(Debug, Clone, Default)]
+pub struct Arda {
+    /// Run configuration.
+    pub config: ArdaConfig,
+}
+
+impl Arda {
+    /// Build with a configuration.
+    pub fn new(config: ArdaConfig) -> Self {
+        Arda { config }
+    }
+
+    /// Full pipeline: discover candidate joins in `repo`, then augment.
+    pub fn run(&self, base: &Table, repo: &Repository, target: &str) -> Result<AugmentationReport> {
+        let candidates = discover_joins(base, repo, &self.config.discovery)?;
+        self.augment(base, repo, &candidates, target)
+    }
+
+    /// Augment `base` using a caller-provided (discovery-system) candidate
+    /// list.
+    pub fn augment(
+        &self,
+        base: &Table,
+        repo: &Repository,
+        candidates: &[CandidateJoin],
+        target: &str,
+    ) -> Result<AugmentationReport> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        base.column(target)?;
+
+        // ---- Coreset construction -------------------------------------
+        let labels: Option<Vec<f64>> = {
+            let tcol = base.column(target)?;
+            let is_cls = cfg.force_classification || !tcol.dtype().is_numeric()
+                || tcol.dtype() == DataType::Bool;
+            if is_cls {
+                // Map labels to ids for stratification.
+                let mut ids: HashMap<String, usize> = HashMap::new();
+                Some(
+                    tcol.iter()
+                        .map(|v| {
+                            let key = v.to_string();
+                            let next = ids.len();
+                            *ids.entry(key).or_insert(next) as f64
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            }
+        };
+        let coreset_idx = row_coreset(base.n_rows(), labels.as_deref(), &cfg.coreset);
+        let mut kept = base.take(&coreset_idx)?;
+        let base_columns: HashSet<String> =
+            kept.columns().iter().map(|c| c.name().to_string()).collect();
+
+        // ---- Tuple-Ratio prefilter (optional) --------------------------
+        let mut active: Vec<CandidateJoin> = Vec::with_capacity(candidates.len());
+        let mut tr_eliminated = 0usize;
+        for c in candidates {
+            let Some(foreign) = repo.get(c.table_index) else {
+                return Err(ArdaError::Invalid(format!(
+                    "candidate references missing table {}",
+                    c.table_index
+                )));
+            };
+            if let Some(tau) = cfg.tr_threshold {
+                let stats =
+                    join_stats(&kept, foreign, &[c.base_key.as_str()], &[c.foreign_key.as_str()])?;
+                if tuple_ratio_filter(kept.n_rows(), stats.foreign_distinct, tau)
+                    == TupleRatioDecision::Eliminate
+                {
+                    tr_eliminated += 1;
+                    continue;
+                }
+            }
+            active.push(c.clone());
+        }
+
+        // ---- Base-only reference score ---------------------------------
+        let base_ds = featurize(&kept, target, cfg.force_classification, &cfg.featurize)?;
+        let (base_score, _) = best_estimate(&base_ds, cfg.seed)?;
+
+        // ---- Join plan + batched execution ------------------------------
+        let batches = plan_batches(&active, repo.tables(), cfg.join_plan, kept.n_rows());
+        let mut provenance: HashMap<String, String> = HashMap::new();
+        let mut joins_executed = 0usize;
+
+        for (batch_no, batch) in batches.iter().enumerate() {
+            let mut joined = kept.clone();
+            for cand in batch {
+                let foreign = repo.get(cand.table_index).expect("validated above");
+                let kind = join_kind_for(&joined, cand, cfg.soft_method);
+                let spec = JoinSpec {
+                    base_keys: vec![cand.base_key.clone()],
+                    foreign_keys: vec![cand.foreign_key.clone()],
+                    kind,
+                };
+                let before: HashSet<String> =
+                    joined.columns().iter().map(|c| c.name().to_string()).collect();
+                joined = execute_join(&joined, foreign, &spec, cfg.seed)?;
+                joins_executed += 1;
+                for col in joined.columns() {
+                    if !before.contains(col.name()) {
+                        provenance.insert(col.name().to_string(), cand.table_name.clone());
+                    }
+                }
+            }
+
+            // Impute the LEFT-join nulls, featurize, select.
+            let (imputed, _) = impute(&joined, cfg.seed.wrapping_add(batch_no as u64))?;
+            let ds = featurize(&imputed, target, cfg.force_classification, &cfg.featurize)?;
+            let ctx = SelectionContext::standard(&ds, cfg.seed);
+            let result = run_selector(&ds, &cfg.selector, &ctx)?;
+
+            // Map selected features back to source columns; base columns
+            // are always retained.
+            let mut keep_cols: Vec<String> = Vec::new();
+            let mut seen: HashSet<String> = HashSet::new();
+            for col in imputed.columns() {
+                if base_columns.contains(col.name()) {
+                    keep_cols.push(col.name().to_string());
+                    seen.insert(col.name().to_string());
+                }
+            }
+            for &f in &result.selected {
+                let feature_name = &ds.feature_names[f];
+                let source = feature_name.split('=').next().unwrap_or(feature_name);
+                if !base_columns.contains(source) && !seen.contains(source) {
+                    keep_cols.push(source.to_string());
+                    seen.insert(source.to_string());
+                }
+            }
+            let keep_refs: Vec<&str> = keep_cols.iter().map(String::as_str).collect();
+            kept = imputed.select(&keep_refs)?;
+
+            if let Some(stop) = cfg.stop_at_score {
+                if result.holdout_score >= stop {
+                    break;
+                }
+            }
+        }
+
+        // ---- Final estimate ---------------------------------------------
+        let augmented_ds = featurize(&kept, target, cfg.force_classification, &cfg.featurize)?;
+        let (augmented_score, best_estimator) = best_estimate(&augmented_ds, cfg.seed)?;
+
+        let selected: Vec<SelectedColumn> = kept
+            .columns()
+            .iter()
+            .filter(|c| !base_columns.contains(c.name()))
+            .map(|c| SelectedColumn {
+                table: provenance.get(c.name()).cloned().unwrap_or_default(),
+                column: c.name().to_string(),
+            })
+            .collect();
+
+        Ok(AugmentationReport {
+            augmented: kept,
+            selected,
+            base_score,
+            augmented_score,
+            best_estimator,
+            joins_executed,
+            tr_eliminated,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Pick the join algorithm for a candidate: soft keys use the configured
+/// soft method with time resampling; hard timestamp keys get resampling too
+/// (a no-op when granularities already agree).
+fn join_kind_for(base: &Table, cand: &CandidateJoin, soft: SoftMethod) -> JoinKind {
+    let base_is_ts = base
+        .column(&cand.base_key)
+        .map(|c| c.dtype() == DataType::Timestamp)
+        .unwrap_or(false);
+    match cand.kind {
+        KeyKind::Soft => JoinKind::SoftTimeResampled(soft),
+        KeyKind::Hard if base_is_ts => JoinKind::HardTimeResampled,
+        KeyKind::Hard => JoinKind::Hard,
+    }
+}
+
+/// Paper §7 evaluation protocol: random forest for both tasks, plus an
+/// RBF-kernel SVM for classification, "such that the best score achieved
+/// was reported".
+fn best_estimate(data: &Dataset, seed: u64) -> Result<(f64, ModelKind)> {
+    let mut estimators = vec![ModelKind::RandomForest { n_trees: 64, max_depth: 12 }];
+    if data.task.is_classification() {
+        estimators.push(ModelKind::RbfSvm { c: 1.0 });
+    }
+    let (train, holdout) = if data.task.is_classification() {
+        arda_ml::stratified_split(&data.y, 0.25, seed)
+    } else {
+        arda_ml::train_test_split(data.n_samples(), 0.25, seed)
+    };
+    let mut best: Option<(f64, ModelKind)> = None;
+    for kind in estimators {
+        let score = holdout_score(data, &kind, &train, &holdout, seed)?;
+        if best.as_ref().map_or(true, |(s, _)| score > *s) {
+            best = Some((score, kind));
+        }
+    }
+    Ok(best.expect("estimator list non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arda_synth::{poverty, school, taxi, ScenarioConfig};
+
+    fn fast_config(seed: u64) -> ArdaConfig {
+        ArdaConfig {
+            selector: SelectorKind::Rifs(arda_select::RifsConfig {
+                repeats: 4,
+                rf_trees: 12,
+                ..Default::default()
+            }),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn taxi_augmentation_improves_over_base() {
+        let sc = taxi(&ScenarioConfig { n_rows: 150, n_decoys: 4, seed: 0 });
+        let repo = Repository::from_tables(sc.repository.clone());
+        let arda = Arda::new(fast_config(0));
+        let report = arda.run(&sc.base, &repo, &sc.target).unwrap();
+        assert!(
+            report.augmented_score > report.base_score,
+            "augmented {} vs base {}",
+            report.augmented_score,
+            report.base_score
+        );
+        assert!(report.joins_executed > 0);
+        // Signal tables contribute at least one selected column.
+        let tables: HashSet<&str> =
+            report.selected.iter().map(|s| s.table.as_str()).collect();
+        assert!(
+            tables.contains("weather") || tables.contains("events"),
+            "selected from signal tables: {:?}",
+            report.selected
+        );
+    }
+
+    #[test]
+    fn school_classification_pipeline() {
+        let sc = school(&ScenarioConfig { n_rows: 150, n_decoys: 4, seed: 1 }, false);
+        let repo = Repository::from_tables(sc.repository.clone());
+        let arda = Arda::new(fast_config(1));
+        let report = arda.run(&sc.base, &repo, &sc.target).unwrap();
+        assert!(report.augmented_score >= report.base_score - 0.05);
+        assert!(report.augmented.n_rows() <= 150);
+        assert!(report.augmented.column("result").is_ok(), "target column retained");
+    }
+
+    #[test]
+    fn tr_prefilter_eliminates_tables() {
+        let sc = poverty(&ScenarioConfig { n_rows: 120, n_decoys: 3, seed: 2 });
+        let repo = Repository::from_tables(sc.repository.clone());
+        let mut cfg = fast_config(2);
+        // county key domain == base rows → ratio 1; τ=0.5 eliminates all.
+        cfg.tr_threshold = Some(0.5);
+        let arda = Arda::new(cfg);
+        let report = arda.run(&sc.base, &repo, &sc.target).unwrap();
+        assert!(report.tr_eliminated > 0);
+    }
+
+    #[test]
+    fn base_rows_never_fan_out() {
+        let sc = taxi(&ScenarioConfig { n_rows: 100, n_decoys: 2, seed: 3 });
+        let repo = Repository::from_tables(sc.repository.clone());
+        let arda = Arda::new(fast_config(3));
+        let report = arda.run(&sc.base, &repo, &sc.target).unwrap();
+        assert_eq!(report.augmented.n_rows(), 100, "coreset keeps all 100 rows (≤ auto cap)");
+    }
+
+    #[test]
+    fn table_plan_runs() {
+        let sc = poverty(&ScenarioConfig { n_rows: 100, n_decoys: 2, seed: 4 });
+        let repo = Repository::from_tables(sc.repository.clone());
+        let mut cfg = fast_config(4);
+        cfg.join_plan = JoinPlan::Table;
+        cfg.selector = SelectorKind::Ranking(arda_select::RankingMethod::RandomForest);
+        let report = Arda::new(cfg).run(&sc.base, &repo, &sc.target).unwrap();
+        assert!(report.joins_executed > 0);
+    }
+
+    #[test]
+    fn improvement_pct_math() {
+        let sc = taxi(&ScenarioConfig { n_rows: 80, n_decoys: 1, seed: 5 });
+        let repo = Repository::from_tables(sc.repository.clone());
+        let report = Arda::new(fast_config(5)).run(&sc.base, &repo, &sc.target).unwrap();
+        let pct = report.improvement_pct();
+        let manual = (report.augmented_score - report.base_score) / report.base_score.abs() * 100.0;
+        assert!((pct - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_target_errors() {
+        let sc = taxi(&ScenarioConfig { n_rows: 50, n_decoys: 1, seed: 6 });
+        let repo = Repository::from_tables(sc.repository.clone());
+        assert!(Arda::default().run(&sc.base, &repo, "nope").is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Join plans: table grouping strategies (ARDA §4 "Table grouping").
+//!
+//! * **Table-join** — one candidate at a time, in priority order. Cheap per
+//!   step but blind to co-predictors split across tables.
+//! * **Budget-join** (default) — as many candidates per batch as fit a
+//!   feature budget (default: the coreset row count). Trades co-predictor
+//!   discovery against the noise the selector must tolerate.
+//! * **Full materialization** — everything in one batch.
+
+use arda_discovery::CandidateJoin;
+use arda_table::Table;
+
+/// Table-grouping strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinPlan {
+    /// One table per batch, priority order.
+    Table,
+    /// Batches capped at `budget` features (`None` → coreset size).
+    Budget {
+        /// Maximum features per batch (`None` = coreset rows).
+        budget: Option<usize>,
+    },
+    /// Single batch with every candidate.
+    FullMaterialization,
+}
+
+impl Default for JoinPlan {
+    fn default() -> Self {
+        JoinPlan::Budget { budget: None }
+    }
+}
+
+/// Number of value (non-key) columns a candidate would contribute.
+fn candidate_width(c: &CandidateJoin, tables: &[Table]) -> usize {
+    tables
+        .get(c.table_index)
+        .map(|t| t.n_cols().saturating_sub(1))
+        .unwrap_or(0)
+}
+
+/// Group ranked candidates into executable batches.
+///
+/// `coreset_rows` supplies the default budget ("By default, budget equals
+/// coreset size"). A single table wider than the whole budget still becomes
+/// its own batch ("in this case ARDA ships an entire table to a feature
+/// selection pipeline").
+pub fn plan_batches(
+    candidates: &[CandidateJoin],
+    tables: &[Table],
+    plan: JoinPlan,
+    coreset_rows: usize,
+) -> Vec<Vec<CandidateJoin>> {
+    match plan {
+        JoinPlan::Table => candidates.iter().map(|c| vec![c.clone()]).collect(),
+        JoinPlan::FullMaterialization => {
+            if candidates.is_empty() {
+                Vec::new()
+            } else {
+                vec![candidates.to_vec()]
+            }
+        }
+        JoinPlan::Budget { budget } => {
+            let budget = budget.unwrap_or(coreset_rows).max(1);
+            let mut batches: Vec<Vec<CandidateJoin>> = Vec::new();
+            let mut current: Vec<CandidateJoin> = Vec::new();
+            let mut used = 0usize;
+            for c in candidates {
+                let w = candidate_width(c, tables).max(1);
+                if w > budget && current.is_empty() {
+                    // Oversized table ships alone.
+                    batches.push(vec![c.clone()]);
+                    continue;
+                }
+                if used + w > budget && !current.is_empty() {
+                    batches.push(std::mem::take(&mut current));
+                    used = 0;
+                }
+                if w > budget {
+                    batches.push(vec![c.clone()]);
+                } else {
+                    used += w;
+                    current.push(c.clone());
+                }
+            }
+            if !current.is_empty() {
+                batches.push(current);
+            }
+            batches
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arda_discovery::KeyKind;
+    use arda_table::Column;
+
+    fn table(name: &str, cols: usize) -> Table {
+        let mut v = vec![Column::from_i64("k", vec![1, 2])];
+        for c in 0..cols {
+            v.push(Column::from_f64(format!("v{c}"), vec![0.0, 1.0]));
+        }
+        Table::new(name, v).unwrap()
+    }
+
+    fn candidate(i: usize) -> CandidateJoin {
+        CandidateJoin {
+            table_index: i,
+            table_name: format!("t{i}"),
+            base_key: "k".into(),
+            foreign_key: "k".into(),
+            kind: KeyKind::Hard,
+            score: 1.0 - i as f64 * 0.1,
+        }
+    }
+
+    #[test]
+    fn table_plan_one_per_batch() {
+        let tables = vec![table("t0", 2), table("t1", 3)];
+        let cands = vec![candidate(0), candidate(1)];
+        let b = plan_batches(&cands, &tables, JoinPlan::Table, 100);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].len(), 1);
+    }
+
+    #[test]
+    fn full_materialization_single_batch() {
+        let tables = vec![table("t0", 2), table("t1", 3)];
+        let cands = vec![candidate(0), candidate(1)];
+        let b = plan_batches(&cands, &tables, JoinPlan::FullMaterialization, 100);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].len(), 2);
+        assert!(plan_batches(&[], &tables, JoinPlan::FullMaterialization, 100).is_empty());
+    }
+
+    #[test]
+    fn budget_plan_respects_budget() {
+        // Widths: 2, 3, 2, 3 — budget 5 → [2+3], [2+3].
+        let tables = vec![table("t0", 2), table("t1", 3), table("t2", 2), table("t3", 3)];
+        let cands: Vec<CandidateJoin> = (0..4).map(candidate).collect();
+        let b = plan_batches(&cands, &tables, JoinPlan::Budget { budget: Some(5) }, 100);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].len(), 2);
+        assert_eq!(b[1].len(), 2);
+    }
+
+    #[test]
+    fn oversized_table_ships_alone() {
+        let tables = vec![table("wide", 50), table("t1", 2)];
+        let cands = vec![candidate(0), candidate(1)];
+        let b = plan_batches(&cands, &tables, JoinPlan::Budget { budget: Some(10) }, 100);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].len(), 1, "wide table alone");
+        assert_eq!(b[0][0].table_name, "t0");
+    }
+
+    #[test]
+    fn default_budget_is_coreset_rows() {
+        let tables = vec![table("t0", 4), table("t1", 4)];
+        let cands = vec![candidate(0), candidate(1)];
+        // Coreset of 4 rows → each 4-wide table fills one batch.
+        let b = plan_batches(&cands, &tables, JoinPlan::Budget { budget: None }, 4);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn default_plan_is_budget() {
+        assert_eq!(JoinPlan::default(), JoinPlan::Budget { budget: None });
+    }
+}

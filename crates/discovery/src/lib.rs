@@ -1,0 +1,358 @@
+//! # arda-discovery
+//!
+//! A join-discovery simulator standing in for Aurum / NYU Auctus.
+//!
+//! ARDA assumes "an external data discovery system automatically determines
+//! a collection of candidate joins: columns in the base table that are
+//! potentially foreign keys into another table" (§2), possibly *very noisy*
+//! — most candidates are semantically meaningless. This crate reproduces
+//! that artifact from a raw [`Repository`] of tables:
+//!
+//! * column-pair candidate mining with type-compatibility rules,
+//! * value-overlap (intersection / Jaccard) scoring, with a bonus for
+//!   matching column names,
+//! * hard/soft key classification — timestamp-typed pairs and numeric pairs
+//!   with range overlap but little exact-value overlap become *soft* keys
+//!   (the weather-vs-taxi time-key situation), everything else *hard*,
+//! * relevance-ranked output: a `Vec<CandidateJoin>` exactly like the input
+//!   ARDA expects, including the ranking "ARDA can optionally make use of
+//!   ... to prioritize its search" (§3).
+
+use arda_join::stats::join_stats;
+use arda_table::{DataType, Table, TableError};
+
+/// Hard vs soft key classification of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    /// Exact-equality joinable.
+    Hard,
+    /// Proximity-joinable (time, GPS, age, ...).
+    Soft,
+}
+
+/// One discovered candidate join.
+#[derive(Debug, Clone)]
+pub struct CandidateJoin {
+    /// Index of the foreign table in the repository.
+    pub table_index: usize,
+    /// Foreign table name.
+    pub table_name: String,
+    /// Base-table key column.
+    pub base_key: String,
+    /// Foreign-table key column.
+    pub foreign_key: String,
+    /// Hard or soft key.
+    pub kind: KeyKind,
+    /// Relevance score (higher = more promising).
+    pub score: f64,
+}
+
+/// A pool of candidate tables (the "data repository" of Figure 1).
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    tables: Vec<Table>,
+}
+
+impl Repository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Repository { tables: Vec::new() }
+    }
+
+    /// Build from tables.
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        Repository { tables }
+    }
+
+    /// Add a table, returning its index.
+    pub fn add(&mut self, table: Table) -> usize {
+        self.tables.push(table);
+        self.tables.len() - 1
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Table by index.
+    pub fn get(&self, index: usize) -> Option<&Table> {
+        self.tables.get(index)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Discovery tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Candidates scoring below this are dropped.
+    pub min_score: f64,
+    /// Keep at most this many candidates per foreign table (best first).
+    pub max_candidates_per_table: usize,
+    /// Emit soft-key candidates (numeric proximity joins).
+    pub enable_soft_keys: bool,
+    /// Name-match bonus added to the overlap score.
+    pub name_bonus: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            min_score: 0.05,
+            max_candidates_per_table: 2,
+            enable_soft_keys: true,
+            name_bonus: 0.25,
+        }
+    }
+}
+
+/// Column types that can key a join at all (floats of measurements are
+/// excluded — joining on a measured value is meaningless).
+fn keyable(dtype: DataType) -> bool {
+    matches!(dtype, DataType::Int | DataType::Str | DataType::Timestamp)
+}
+
+fn compatible(a: DataType, b: DataType) -> bool {
+    match (a, b) {
+        (DataType::Str, DataType::Str) => true,
+        (DataType::Int, DataType::Int) => true,
+        (DataType::Timestamp, DataType::Timestamp)
+        | (DataType::Timestamp, DataType::Int)
+        | (DataType::Int, DataType::Timestamp) => true,
+        _ => false,
+    }
+}
+
+/// Numeric range overlap in `[0, 1]` (intersection over union of ranges).
+fn range_overlap(base: &Table, bcol: &str, foreign: &Table, fcol: &str) -> f64 {
+    let minmax = |t: &Table, c: &str| -> Option<(f64, f64)> {
+        let col = t.column(c).ok()?;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..col.len() {
+            if let Some(v) = col.get_f64(i) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo.is_finite() {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    };
+    match (minmax(base, bcol), minmax(foreign, fcol)) {
+        (Some((bl, bh)), Some((fl, fh))) => {
+            let inter = (bh.min(fh) - bl.max(fl)).max(0.0);
+            let union = (bh.max(fh) - bl.min(fl)).max(1e-12);
+            inter / union
+        }
+        _ => 0.0,
+    }
+}
+
+/// Mine, score and rank candidate joins of `base` against every repository
+/// table. Results are sorted by descending score.
+pub fn discover_joins(
+    base: &Table,
+    repo: &Repository,
+    cfg: &DiscoveryConfig,
+) -> Result<Vec<CandidateJoin>, TableError> {
+    let mut all = Vec::new();
+    for (ti, foreign) in repo.tables().iter().enumerate() {
+        let mut per_table: Vec<CandidateJoin> = Vec::new();
+        for bcol in base.columns() {
+            if !keyable(bcol.dtype()) {
+                continue;
+            }
+            for fcol in foreign.columns() {
+                if !keyable(fcol.dtype()) || !compatible(bcol.dtype(), fcol.dtype()) {
+                    continue;
+                }
+                let stats = join_stats(base, foreign, &[bcol.name()], &[fcol.name()])
+                    .map_err(|e| match e {
+                        arda_join::JoinError::Table(t) => t,
+                        other => TableError::Invalid(other.to_string()),
+                    })?;
+                let exact = stats.intersection_score();
+                let name_match = bcol.name().eq_ignore_ascii_case(fcol.name())
+                    || bcol.name().to_lowercase().contains(&fcol.name().to_lowercase())
+                    || fcol.name().to_lowercase().contains(&bcol.name().to_lowercase());
+
+                let timey = bcol.dtype() == DataType::Timestamp
+                    || fcol.dtype() == DataType::Timestamp;
+                let (kind, mut score) = if timey && cfg.enable_soft_keys {
+                    // Time keys: proximity matters more than exact equality.
+                    let overlap = range_overlap(base, bcol.name(), foreign, fcol.name());
+                    (KeyKind::Soft, overlap.max(exact))
+                } else if exact <= 0.02
+                    && cfg.enable_soft_keys
+                    && bcol.dtype() == DataType::Int
+                    && fcol.dtype() == DataType::Int
+                {
+                    // Near-zero exact overlap but overlapping ranges →
+                    // plausible soft key.
+                    let overlap = range_overlap(base, bcol.name(), foreign, fcol.name());
+                    if overlap > 0.3 {
+                        (KeyKind::Soft, overlap * 0.5)
+                    } else {
+                        (KeyKind::Hard, exact)
+                    }
+                } else {
+                    (KeyKind::Hard, exact)
+                };
+                if name_match {
+                    score += cfg.name_bonus;
+                }
+                if score >= cfg.min_score {
+                    per_table.push(CandidateJoin {
+                        table_index: ti,
+                        table_name: foreign.name().to_string(),
+                        base_key: bcol.name().to_string(),
+                        foreign_key: fcol.name().to_string(),
+                        kind,
+                        score,
+                    });
+                }
+            }
+        }
+        per_table.sort_by(|a, b| b.score.total_cmp(&a.score));
+        per_table.truncate(cfg.max_candidates_per_table);
+        all.extend(per_table);
+    }
+    all.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.table_index.cmp(&b.table_index)));
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arda_table::Column;
+
+    fn base() -> Table {
+        Table::new(
+            "taxi",
+            vec![
+                Column::from_timestamps("date", (0..30).map(|i| i * 86_400).collect()),
+                Column::from_str(
+                    "borough",
+                    (0..30).map(|i| ["bronx", "queens", "manhattan"][i % 3]).collect(),
+                ),
+                Column::from_f64("trips", (0..30).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn weather() -> Table {
+        Table::new(
+            "weather",
+            vec![
+                Column::from_timestamps("date", (0..720).map(|i| i * 3_600).collect()),
+                Column::from_f64("temp", (0..720).map(|i| (i % 24) as f64).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn population() -> Table {
+        Table::new(
+            "population",
+            vec![
+                Column::from_str("borough", vec!["bronx", "queens", "manhattan", "brooklyn"]),
+                Column::from_f64("pop", vec![1.4, 2.3, 1.6, 2.6]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn junk() -> Table {
+        Table::new(
+            "junk",
+            vec![
+                Column::from_str("code", vec!["zz1", "zz2"]),
+                Column::from_f64("x", vec![0.0, 1.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_hard_and_soft_candidates() {
+        let repo = Repository::from_tables(vec![weather(), population(), junk()]);
+        let cands = discover_joins(&base(), &repo, &DiscoveryConfig::default()).unwrap();
+        let names: Vec<&str> = cands.iter().map(|c| c.table_name.as_str()).collect();
+        assert!(names.contains(&"weather"), "weather discovered: {names:?}");
+        assert!(names.contains(&"population"), "population discovered: {names:?}");
+        assert!(!names.contains(&"junk"), "junk filtered: {names:?}");
+        let w = cands.iter().find(|c| c.table_name == "weather").unwrap();
+        assert_eq!(w.kind, KeyKind::Soft, "time keys are soft");
+        let p = cands.iter().find(|c| c.table_name == "population").unwrap();
+        assert_eq!(p.kind, KeyKind::Hard);
+        assert_eq!(p.base_key, "borough");
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let repo = Repository::from_tables(vec![weather(), population()]);
+        let cands = discover_joins(&base(), &repo, &DiscoveryConfig::default()).unwrap();
+        for w in cands.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn name_bonus_boosts_matching_columns() {
+        let mut cfg = DiscoveryConfig::default();
+        cfg.name_bonus = 0.0;
+        let repo = Repository::from_tables(vec![population()]);
+        let without = discover_joins(&base(), &repo, &cfg).unwrap();
+        cfg.name_bonus = 0.5;
+        let with = discover_joins(&base(), &repo, &cfg).unwrap();
+        assert!(with[0].score > without[0].score + 0.4);
+    }
+
+    #[test]
+    fn soft_keys_can_be_disabled() {
+        let cfg = DiscoveryConfig { enable_soft_keys: false, ..Default::default() };
+        let repo = Repository::from_tables(vec![weather()]);
+        let cands = discover_joins(&base(), &repo, &cfg).unwrap();
+        assert!(cands.iter().all(|c| c.kind == KeyKind::Hard));
+    }
+
+    #[test]
+    fn measurement_floats_never_key() {
+        let repo = Repository::from_tables(vec![weather()]);
+        let cands = discover_joins(&base(), &repo, &DiscoveryConfig::default()).unwrap();
+        assert!(cands.iter().all(|c| c.base_key != "trips" && c.foreign_key != "temp"));
+    }
+
+    #[test]
+    fn per_table_cap_respected() {
+        let cfg = DiscoveryConfig { max_candidates_per_table: 1, ..Default::default() };
+        let repo = Repository::from_tables(vec![weather(), population()]);
+        let cands = discover_joins(&base(), &repo, &cfg).unwrap();
+        for ti in [0usize, 1] {
+            assert!(cands.iter().filter(|c| c.table_index == ti).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn repository_basics() {
+        let mut repo = Repository::new();
+        assert!(repo.is_empty());
+        let i = repo.add(junk());
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.get(i).unwrap().name(), "junk");
+        assert!(repo.get(9).is_none());
+    }
+}

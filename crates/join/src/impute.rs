@@ -1,0 +1,164 @@
+//! Missing-value imputation (ARDA §4 "Imputation").
+//!
+//! LEFT joins introduce nulls for unmatched base rows. Following the paper,
+//! imputation is deliberately simple and fast: numeric nulls take the column
+//! median, categorical nulls take a uniform random draw from the observed
+//! values of the column.
+
+use crate::Result;
+use arda_table::{Column, ColumnData, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Impute all nulls in `table`. Returns the imputed table and the number of
+/// cells filled. Columns that are entirely null are left untouched (there is
+/// nothing to impute from — drop them during featurization instead).
+pub fn impute(table: &Table, seed: u64) -> Result<(Table, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Table::empty(table.name().to_string());
+    let mut filled = 0usize;
+
+    for col in table.columns() {
+        let n = col.len();
+        if col.null_count() == 0 || col.null_count() == n {
+            out.add_column(col.clone())?;
+            continue;
+        }
+        let new_col = match col.data() {
+            ColumnData::Float(_) | ColumnData::Int(_) | ColumnData::Timestamp(_)
+            | ColumnData::Bool(_) => {
+                let median = col.median().expect("non-null values exist");
+                let values: Vec<Value> = (0..n)
+                    .map(|i| {
+                        let v = col.get(i);
+                        if v.is_null() {
+                            filled += 1;
+                            match col.data() {
+                                ColumnData::Float(_) => Value::Float(median),
+                                ColumnData::Bool(_) => Value::Bool(median >= 0.5),
+                                ColumnData::Timestamp(_) => {
+                                    Value::Timestamp(median.round() as i64)
+                                }
+                                _ => Value::Int(median.round() as i64),
+                            }
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                Column::from_values(col.name(), col.dtype(), values)?
+            }
+            ColumnData::Str(_) => {
+                let observed: Vec<Value> =
+                    col.iter().filter(|v| !v.is_null()).collect();
+                let values: Vec<Value> = (0..n)
+                    .map(|i| {
+                        let v = col.get(i);
+                        if v.is_null() {
+                            filled += 1;
+                            observed[rng.gen_range(0..observed.len())].clone()
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                Column::from_values(col.name(), col.dtype(), values)?
+            }
+        };
+        out.add_column(new_col)?;
+    }
+    Ok((out, filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_nulls_take_median() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64_opt("x", vec![Some(1.0), None, Some(3.0), Some(10.0)])],
+        )
+        .unwrap();
+        let (out, filled) = impute(&t, 0).unwrap();
+        assert_eq!(filled, 1);
+        assert_eq!(out.column("x").unwrap().get_f64(1), Some(3.0)); // median of {1,3,10}
+        assert_eq!(out.null_count(), 0);
+    }
+
+    #[test]
+    fn integer_nulls_rounded_median() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64_opt("x", vec![Some(1), None, Some(2)])],
+        )
+        .unwrap();
+        let (out, _) = impute(&t, 0).unwrap();
+        // median of {1,2} = 1.5 → rounds to 2.
+        assert_eq!(out.column("x").unwrap().get(1), Value::Int(2));
+    }
+
+    #[test]
+    fn categorical_nulls_sampled_from_observed() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_str_opt(
+                "c",
+                vec![Some("a".into()), None, Some("b".into()), None],
+            )],
+        )
+        .unwrap();
+        let (out, filled) = impute(&t, 7).unwrap();
+        assert_eq!(filled, 2);
+        for i in [1usize, 3] {
+            let v = out.column("c").unwrap().get(i);
+            assert!(
+                v == Value::Str("a".into()) || v == Value::Str("b".into()),
+                "imputed value must be observed, got {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_null_column_left_alone() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64_opt("dead", vec![None, None])],
+        )
+        .unwrap();
+        let (out, filled) = impute(&t, 0).unwrap();
+        assert_eq!(filled, 0);
+        assert_eq!(out.column("dead").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn no_nulls_is_identity() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_f64("x", vec![1.0, 2.0]),
+                Column::from_str("c", vec!["a", "b"]),
+            ],
+        )
+        .unwrap();
+        let (out, filled) = impute(&t, 0).unwrap();
+        assert_eq!(filled, 0);
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_str_opt(
+                "c",
+                vec![Some("a".into()), None, Some("b".into()), Some("c".into())],
+            )],
+        )
+        .unwrap();
+        let (a, _) = impute(&t, 3).unwrap();
+        let (b, _) = impute(&t, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! Join-key match statistics: intersection scores used to rank candidate
+//! joins when the discovery system provides no relevance scores (§4 "Table
+//! grouping": "ARDA computes intersection-score"), and the foreign-key
+//! domain sizes needed by the Tuple-Ratio rule.
+
+use crate::Result;
+use arda_table::{Key, Table};
+use std::collections::HashSet;
+
+/// Statistics of one candidate (base, foreign, key) pairing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStats {
+    /// Base rows whose key value appears in the foreign key column.
+    pub matched_rows: usize,
+    /// Total base rows.
+    pub base_rows: usize,
+    /// Distinct non-null keys in the base column.
+    pub base_distinct: usize,
+    /// Distinct non-null keys in the foreign column (the foreign-key domain
+    /// size `nR` of the Tuple-Ratio rule).
+    pub foreign_distinct: usize,
+    /// Distinct keys appearing on both sides.
+    pub shared_distinct: usize,
+}
+
+impl JoinStats {
+    /// Fraction of base rows that would find a hard-join match.
+    pub fn intersection_score(&self) -> f64 {
+        if self.base_rows == 0 {
+            0.0
+        } else {
+            self.matched_rows as f64 / self.base_rows as f64
+        }
+    }
+
+    /// Jaccard similarity of the distinct key sets.
+    pub fn jaccard(&self) -> f64 {
+        let union = self.base_distinct + self.foreign_distinct - self.shared_distinct;
+        if union == 0 {
+            0.0
+        } else {
+            self.shared_distinct as f64 / union as f64
+        }
+    }
+
+    /// Tuple ratio `nS / nR` from Kumar et al.: base training examples over
+    /// the foreign-key domain size. Infinite when the domain is empty.
+    pub fn tuple_ratio(&self) -> f64 {
+        if self.foreign_distinct == 0 {
+            f64::INFINITY
+        } else {
+            self.base_rows as f64 / self.foreign_distinct as f64
+        }
+    }
+}
+
+/// Compute [`JoinStats`] for a hard-key candidate.
+pub fn join_stats(
+    base: &Table,
+    foreign: &Table,
+    base_keys: &[&str],
+    foreign_keys: &[&str],
+) -> Result<JoinStats> {
+    let bkeys = base.keys(base_keys)?;
+    let fkeys = foreign.keys(foreign_keys)?;
+    let fset: HashSet<&Key> = fkeys.iter().flatten().collect();
+    let bset: HashSet<&Key> = bkeys.iter().flatten().collect();
+    let matched_rows = bkeys.iter().flatten().filter(|k| fset.contains(k)).count();
+    let shared_distinct = bset.iter().filter(|k| fset.contains(*k)).count();
+    Ok(JoinStats {
+        matched_rows,
+        base_rows: base.n_rows(),
+        base_distinct: bset.len(),
+        foreign_distinct: fset.len(),
+        shared_distinct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arda_table::Column;
+
+    fn tables() -> (Table, Table) {
+        let base = Table::new(
+            "b",
+            vec![Column::from_i64("k", vec![1, 1, 2, 3])],
+        )
+        .unwrap();
+        let foreign = Table::new(
+            "f",
+            vec![Column::from_i64("k", vec![1, 2, 9, 9])],
+        )
+        .unwrap();
+        (base, foreign)
+    }
+
+    #[test]
+    fn counts_matches_and_domains() {
+        let (b, f) = tables();
+        let s = join_stats(&b, &f, &["k"], &["k"]).unwrap();
+        assert_eq!(s.matched_rows, 3); // rows with k ∈ {1,1,2}
+        assert_eq!(s.base_rows, 4);
+        assert_eq!(s.base_distinct, 3);
+        assert_eq!(s.foreign_distinct, 3); // {1,2,9}
+        assert_eq!(s.shared_distinct, 2); // {1,2}
+        assert!((s.intersection_score() - 0.75).abs() < 1e-12);
+        assert!((s.jaccard() - 0.5).abs() < 1e-12); // 2 / (3+3-2)
+        assert!((s.tuple_ratio() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_foreign_gives_zero_score_and_infinite_ratio() {
+        let b = Table::new("b", vec![Column::from_i64("k", vec![1])]).unwrap();
+        let f = Table::new("f", vec![Column::from_i64("k", vec![])]).unwrap();
+        let s = join_stats(&b, &f, &["k"], &["k"]).unwrap();
+        assert_eq!(s.intersection_score(), 0.0);
+        assert_eq!(s.jaccard(), 0.0);
+        assert!(s.tuple_ratio().is_infinite());
+    }
+
+    #[test]
+    fn nulls_do_not_count() {
+        let b = Table::new(
+            "b",
+            vec![Column::from_i64_opt("k", vec![Some(1), None])],
+        )
+        .unwrap();
+        let f = Table::new(
+            "f",
+            vec![Column::from_i64_opt("k", vec![Some(1), None])],
+        )
+        .unwrap();
+        let s = join_stats(&b, &f, &["k"], &["k"]).unwrap();
+        assert_eq!(s.matched_rows, 1);
+        assert_eq!(s.base_distinct, 1);
+        assert_eq!(s.foreign_distinct, 1);
+    }
+
+    #[test]
+    fn composite_key_stats() {
+        let b = Table::new(
+            "b",
+            vec![
+                Column::from_i64("a", vec![1, 1]),
+                Column::from_i64("b", vec![2, 3]),
+            ],
+        )
+        .unwrap();
+        let f = Table::new(
+            "f",
+            vec![
+                Column::from_i64("a", vec![1]),
+                Column::from_i64("b", vec![2]),
+            ],
+        )
+        .unwrap();
+        let s = join_stats(&b, &f, &["a", "b"], &["a", "b"]).unwrap();
+        assert_eq!(s.matched_rows, 1);
+        assert_eq!(s.shared_distinct, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Linear solvers: Cholesky for SPD systems (ridge / IRLS normal equations)
+//! and LU with partial pivoting for general square systems.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Cholesky factor `L` (lower triangular) with `A = L Lᵀ`.
+///
+/// Fails when `A` is not (numerically) positive definite. Callers that add a
+/// ridge term `λI` with `λ > 0` are always safe.
+pub fn cholesky_decompose(a: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch { context: "cholesky: non-square".into() });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotSolvable(format!(
+                        "cholesky: non-positive pivot {sum:.3e} at {i}"
+                    )));
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `A x = b` for SPD `A` via Cholesky.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let l = cholesky_decompose(a)?;
+    Ok(cholesky_back_substitute(&l, b))
+}
+
+/// Solve `A X = B` for SPD `A` and multiple right-hand sides (columns of
+/// `B`). Factorises once.
+pub fn cholesky_solve_multi(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("cholesky_solve_multi: {}x{} vs {} rows", a.rows(), a.cols(), b.rows()),
+        });
+    }
+    let l = cholesky_decompose(a)?;
+    let mut out = Matrix::zeros(b.rows(), b.cols());
+    for c in 0..b.cols() {
+        let col = b.col(c);
+        let x = cholesky_back_substitute(&l, &col);
+        for (r, v) in x.into_iter().enumerate() {
+            out.set(r, c, v);
+        }
+    }
+    Ok(out)
+}
+
+fn cholesky_back_substitute(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    x
+}
+
+/// Solve `A x = b` for general square `A` via LU with partial pivoting.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch { context: "lu_solve: non-square".into() });
+    }
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("lu_solve: rhs len {} vs {n}", b.len()),
+        });
+    }
+    let mut lu = a.clone();
+    let mut rhs = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, lu.get(r, col).abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(LinalgError::NotSolvable(format!("lu: singular at column {col}")));
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = lu.get(col, c);
+                lu.set(col, c, lu.get(pivot_row, c));
+                lu.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+            perm.swap(col, pivot_row);
+        }
+        for r in col + 1..n {
+            let factor = lu.get(r, col) / lu.get(col, col);
+            lu.set(r, col, factor);
+            for c in col + 1..n {
+                let v = lu.get(r, c) - factor * lu.get(col, c);
+                lu.set(r, c, v);
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution on U.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for k in i + 1..n {
+            sum -= lu.get(i, k) * x[k];
+        }
+        x[i] = sum / lu.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = M Mᵀ + I for a random-ish M — guaranteed SPD.
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky_decompose(&a).unwrap();
+        let back = l.matmul(&l.transpose()).unwrap();
+        for (x, y) in a.data().iter().zip(back.data()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_matches_residual() {
+        let a = spd3();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = cholesky_solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(cholesky_decompose(&a).is_err());
+        let bad = Matrix::zeros(2, 3);
+        assert!(cholesky_decompose(&bad).is_err());
+    }
+
+    #[test]
+    fn multi_rhs_matches_single() {
+        let a = spd3();
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 1.0], vec![3.0, -1.0]]).unwrap();
+        let x = cholesky_solve_multi(&a, &b).unwrap();
+        let x0 = cholesky_solve(&a, &b.col(0)).unwrap();
+        let x1 = cholesky_solve(&a, &b.col(1)).unwrap();
+        for i in 0..3 {
+            assert!((x.get(i, 0) - x0[i]).abs() < 1e-12);
+            assert!((x.get(i, 1) - x1[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -2.0, -3.0],
+            vec![-1.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let b = vec![-8.0, 0.0, 3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(lu_solve(&a, &[1.0, 2.0]).is_err());
+        assert!(lu_solve(&Matrix::zeros(2, 3), &[1.0, 2.0]).is_err());
+        assert!(lu_solve(&Matrix::identity(2), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn lu_agrees_with_cholesky_on_spd() {
+        let a = spd3();
+        let b = vec![0.5, -1.0, 2.0];
+        let x1 = cholesky_solve(&a, &b).unwrap();
+        let x2 = lu_solve(&a, &b).unwrap();
+        for (l, r) in x1.iter().zip(&x2) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Column statistics: means, variances, covariance, correlation,
+//! standardisation.
+
+use crate::Matrix;
+
+/// Mean of each column.
+pub fn column_means(m: &Matrix) -> Vec<f64> {
+    let n = m.rows().max(1);
+    let mut sums = vec![0.0; m.cols()];
+    for r in 0..m.rows() {
+        for (s, v) in sums.iter_mut().zip(m.row(r)) {
+            *s += v;
+        }
+    }
+    sums.iter_mut().for_each(|s| *s /= n as f64);
+    sums
+}
+
+/// Population variance of each column.
+pub fn column_variances(m: &Matrix) -> Vec<f64> {
+    let means = column_means(m);
+    let n = m.rows().max(1);
+    let mut out = vec![0.0; m.cols()];
+    for r in 0..m.rows() {
+        for ((o, v), mu) in out.iter_mut().zip(m.row(r)).zip(&means) {
+            let d = v - mu;
+            *o += d * d;
+        }
+    }
+    out.iter_mut().for_each(|o| *o /= n as f64);
+    out
+}
+
+/// Empirical mean of the *feature vectors* (columns treated as points in
+/// `R^rows`), i.e. `µ = (1/d) Σ_i A_{*,i}` — exactly ARDA Algorithm 2 step 1.
+pub fn feature_mean(m: &Matrix) -> Vec<f64> {
+    let d = m.cols().max(1);
+    let mut mu = vec![0.0; m.rows()];
+    for r in 0..m.rows() {
+        mu[r] = m.row(r).iter().sum::<f64>() / d as f64;
+    }
+    mu
+}
+
+/// Pearson correlation between two equal-length slices (0 when either side
+/// is constant).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Z-score standardise columns in place; constant columns are left centred.
+/// Returns the (mean, std) pairs used so test data can reuse them.
+pub fn standardize_columns(m: &mut Matrix) -> Vec<(f64, f64)> {
+    let means = column_means(m);
+    let vars = column_variances(m);
+    let stds: Vec<f64> = vars.iter().map(|v| v.sqrt()).collect();
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        for ((v, mu), sd) in row.iter_mut().zip(&means).zip(&stds) {
+            *v -= mu;
+            if *sd > 1e-12 {
+                *v /= sd;
+            }
+        }
+    }
+    means.into_iter().zip(stds).collect()
+}
+
+/// Apply previously computed (mean, std) pairs to new data (e.g. a holdout
+/// split) so train and test share one scaling.
+pub fn apply_standardization(m: &mut Matrix, params: &[(f64, f64)]) {
+    assert_eq!(params.len(), m.cols(), "apply_standardization: column mismatch");
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        for (v, (mu, sd)) in row.iter_mut().zip(params) {
+            *v -= mu;
+            if *sd > 1e-12 {
+                *v /= sd;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_variances() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0]]).unwrap();
+        assert_eq!(column_means(&m), vec![2.0, 10.0]);
+        assert_eq!(column_variances(&m), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn feature_mean_averages_columns() {
+        let m = Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 6.0]]).unwrap();
+        assert_eq!(feature_mean(&m), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![2.0, 4.0, 6.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_var() {
+        let mut m =
+            Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]).unwrap();
+        let params = standardize_columns(&mut m);
+        let means = column_means(&m);
+        let vars = column_variances(&m);
+        assert!(means[0].abs() < 1e-12);
+        assert!((vars[0] - 1.0).abs() < 1e-12);
+        // Constant column: centred but not scaled.
+        assert!(means[1].abs() < 1e-12);
+        assert_eq!(vars[1], 0.0);
+        assert_eq!(params.len(), 2);
+    }
+
+    #[test]
+    fn apply_standardization_reuses_params() {
+        let mut train = Matrix::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        let params = standardize_columns(&mut train);
+        let mut test = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        apply_standardization(&mut test, &params);
+        // train mean 1, std 1 → (1-1)/1 = 0.
+        assert!(test.get(0, 0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,296 @@
+//! Random forests: bootstrap-bagged CART trees fitted in parallel, with
+//! impurity-based feature importances.
+//!
+//! ARDA uses Random Forests both as its default estimator ("lightly
+//! auto-optimized Random Forest", §7) and as one of the two RIFS ranking
+//! models (§6.2); the importances exposed here drive those rankings.
+
+use crate::tree::{DecisionTree, MaxFeatures, TreeConfig};
+use crate::{Dataset, MlError, Result, Task};
+use arda_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth limits.
+    pub max_depth: usize,
+    /// Minimum samples to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Feature subsampling (`None` → √d for classification, d/3 for
+    /// regression, the standard defaults).
+    pub max_features: Option<MaxFeatures>,
+    /// Bootstrap sample rows per tree.
+    pub bootstrap: bool,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Worker threads (1 = sequential).
+    pub n_threads: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 64,
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            bootstrap: true,
+            seed: 0,
+            n_threads: 4,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    task: Task,
+    importances: Vec<f64>,
+}
+
+impl RandomForest {
+    /// Fit on a [`Dataset`].
+    pub fn fit(data: &Dataset, cfg: &ForestConfig) -> Result<Self> {
+        Self::fit_xy(&data.x, &data.y, data.task, cfg)
+    }
+
+    /// Fit from raw matrix/labels.
+    pub fn fit_xy(x: &Matrix, y: &[f64], task: Task, cfg: &ForestConfig) -> Result<Self> {
+        if x.rows() == 0 || cfg.n_trees == 0 {
+            return Err(MlError::Invalid("empty training set or zero trees".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::ShapeMismatch(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        let max_features = cfg.max_features.unwrap_or(match task {
+            Task::Classification { .. } => MaxFeatures::Sqrt,
+            Task::Regression => MaxFeatures::Third,
+        });
+
+        let n = x.rows();
+        // Pre-draw bootstrap indices and seeds so results are independent of
+        // thread scheduling.
+        let mut master = StdRng::seed_from_u64(cfg.seed);
+        let jobs: Vec<(u64, Vec<usize>)> = (0..cfg.n_trees)
+            .map(|_| {
+                let seed: u64 = master.gen();
+                let rows: Vec<usize> = if cfg.bootstrap {
+                    let mut r = StdRng::seed_from_u64(seed ^ 0xB00157);
+                    (0..n).map(|_| r.gen_range(0..n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                (seed, rows)
+            })
+            .collect();
+
+        let fit_one = |seed: u64, rows: &[usize]| -> Result<DecisionTree> {
+            let xs = x.select_rows(rows).map_err(|e| MlError::ShapeMismatch(e.to_string()))?;
+            let ys: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
+            let tree_cfg = TreeConfig {
+                max_depth: cfg.max_depth,
+                min_samples_split: cfg.min_samples_split,
+                min_samples_leaf: cfg.min_samples_leaf,
+                max_features,
+                seed,
+            };
+            DecisionTree::fit_xy(&xs, &ys, task, &tree_cfg)
+        };
+
+        let threads = cfg.n_threads.max(1).min(cfg.n_trees);
+        let trees: Vec<DecisionTree> = if threads == 1 {
+            jobs.iter()
+                .map(|(s, rows)| fit_one(*s, rows))
+                .collect::<Result<_>>()?
+        } else {
+            let chunks: Vec<&[(u64, Vec<usize>)]> =
+                jobs.chunks(jobs.len().div_ceil(threads)).collect();
+            let results: Vec<Result<Vec<DecisionTree>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk.iter().map(|(s, rows)| fit_one(*s, rows)).collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("tree fit panicked")).collect()
+            });
+            let mut trees = Vec::with_capacity(cfg.n_trees);
+            for r in results {
+                trees.extend(r?);
+            }
+            trees
+        };
+
+        // Mean impurity decrease, normalised to sum to 1 (when non-zero).
+        let mut importances = vec![0.0; x.cols()];
+        for t in &trees {
+            for (acc, v) in importances.iter_mut().zip(t.importances()) {
+                *acc += v;
+            }
+        }
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            importances.iter_mut().for_each(|v| *v /= total);
+        }
+
+        Ok(RandomForest { trees, task, importances })
+    }
+
+    /// Predict rows of `x` (majority vote / mean over trees).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let per_tree: Vec<Vec<f64>> =
+            self.trees.iter().map(|t| t.predict(x)).collect::<Result<_>>()?;
+        let n = x.rows();
+        match self.task {
+            Task::Regression => {
+                let mut out = vec![0.0; n];
+                for preds in &per_tree {
+                    for (o, p) in out.iter_mut().zip(preds) {
+                        *o += p;
+                    }
+                }
+                out.iter_mut().for_each(|o| *o /= self.trees.len() as f64);
+                Ok(out)
+            }
+            Task::Classification { n_classes } => {
+                let mut votes = vec![vec![0usize; n_classes]; n];
+                for preds in &per_tree {
+                    for (row_votes, &p) in votes.iter_mut().zip(preds) {
+                        let c = (p as usize).min(n_classes.saturating_sub(1));
+                        row_votes[c] += 1;
+                    }
+                }
+                Ok(votes
+                    .into_iter()
+                    .map(|v| {
+                        v.iter()
+                            .enumerate()
+                            .max_by_key(|(_, &c)| c)
+                            .map(|(k, _)| k as f64)
+                            .unwrap_or(0.0)
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Normalised mean-impurity-decrease importances.
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Task the forest was trained for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn classification_blob(n: usize, seed: u64) -> Dataset {
+        // Two Gaussian-ish blobs separated on feature 0; feature 1 is noise.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = (i % 2) as f64;
+            let center = if cls == 0.0 { -2.0 } else { 2.0 };
+            rows.push(vec![
+                center + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(cls);
+        }
+        Dataset::new(
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            vec!["signal".into(), "noise".into()],
+            Task::Classification { n_classes: 2 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn separable_blobs_fit_perfectly() {
+        let d = classification_blob(200, 1);
+        let rf = RandomForest::fit(&d, &ForestConfig { n_trees: 16, ..Default::default() })
+            .unwrap();
+        let preds = rf.predict(&d.x).unwrap();
+        let correct = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count();
+        assert!(correct as f64 / d.n_samples() as f64 > 0.97);
+        assert_eq!(rf.n_trees(), 16);
+    }
+
+    #[test]
+    fn importances_identify_signal() {
+        let d = classification_blob(300, 2);
+        let rf = RandomForest::fit(&d, &ForestConfig { n_trees: 32, ..Default::default() })
+            .unwrap();
+        let imp = rf.importances();
+        assert!(imp[0] > imp[1] * 3.0, "signal {} noise {}", imp[0], imp[1]);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_recovers_linear_trend() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let rf = RandomForest::fit_xy(
+            &x,
+            &y,
+            Task::Regression,
+            &ForestConfig { n_trees: 32, ..Default::default() },
+        )
+        .unwrap();
+        let test = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let p = rf.predict(&test).unwrap()[0];
+        assert!((p - 15.0).abs() < 2.0, "prediction {p}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_regardless_of_threads() {
+        let d = classification_blob(120, 4);
+        let base = ForestConfig { n_trees: 8, seed: 9, n_threads: 1, ..Default::default() };
+        let rf1 = RandomForest::fit(&d, &base).unwrap();
+        let rf2 = RandomForest::fit(
+            &d,
+            &ForestConfig { n_threads: 4, ..base },
+        )
+        .unwrap();
+        assert_eq!(rf1.predict(&d.x).unwrap(), rf2.predict(&d.x).unwrap());
+        assert_eq!(rf1.importances(), rf2.importances());
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let d = classification_blob(10, 5);
+        assert!(RandomForest::fit(
+            &d,
+            &ForestConfig { n_trees: 0, ..Default::default() }
+        )
+        .is_err());
+        let rf = RandomForest::fit(&d, &ForestConfig { n_trees: 2, ..Default::default() })
+            .unwrap();
+        assert!(rf.predict(&Matrix::zeros(1, 7)).is_err());
+    }
+}

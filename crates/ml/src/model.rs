@@ -1,0 +1,269 @@
+//! A uniform fit/predict interface over every model in the substrate.
+//!
+//! ARDA is "agnostic to the ML training process" (§2): feature-selection
+//! wrappers, the RIFS threshold search and the AutoML-lite comparator all
+//! just need *some* estimator they can refit repeatedly. [`ModelKind`] names
+//! a configuration; fitting yields a [`Model`] that predicts.
+
+use crate::forest::{ForestConfig, RandomForest};
+use crate::linear::{Lasso, LinearSvm, LogisticRegression, Ridge};
+use crate::svm::{RbfSvm, SvmConfig};
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{metrics, Dataset, MlError, Result, Task};
+use arda_linalg::Matrix;
+
+/// An estimator configuration (un-fitted).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelKind {
+    /// Random forest (both tasks) — the paper's default estimator.
+    RandomForest {
+        /// Number of trees.
+        n_trees: usize,
+        /// Maximum tree depth.
+        max_depth: usize,
+    },
+    /// Single CART tree (both tasks).
+    DecisionTree {
+        /// Maximum depth.
+        max_depth: usize,
+    },
+    /// Ridge regression (regression only; classification rounds are invalid).
+    Ridge {
+        /// L2 penalty.
+        lambda: f64,
+    },
+    /// Lasso (regression).
+    Lasso {
+        /// L1 penalty.
+        alpha: f64,
+    },
+    /// Logistic regression (classification).
+    Logistic {
+        /// L2 penalty.
+        lambda: f64,
+    },
+    /// Pegasos linear SVM (classification).
+    LinearSvm {
+        /// Regularisation λ.
+        lambda: f64,
+    },
+    /// RBF-kernel SVM (classification) — the paper's alternate estimator.
+    RbfSvm {
+        /// Box constraint C.
+        c: f64,
+    },
+}
+
+impl ModelKind {
+    /// The paper's default estimator: a lightly tuned random forest.
+    pub fn default_forest() -> Self {
+        ModelKind::RandomForest { n_trees: 64, max_depth: 12 }
+    }
+
+    /// True when this model kind can be fitted for `task`.
+    pub fn supports(&self, task: Task) -> bool {
+        match self {
+            ModelKind::RandomForest { .. } | ModelKind::DecisionTree { .. } => true,
+            ModelKind::Ridge { .. } | ModelKind::Lasso { .. } => !task.is_classification(),
+            ModelKind::Logistic { .. }
+            | ModelKind::LinearSvm { .. }
+            | ModelKind::RbfSvm { .. } => task.is_classification(),
+        }
+    }
+
+    /// Fit this configuration on `(x, y)`.
+    pub fn fit(&self, x: &Matrix, y: &[f64], task: Task, seed: u64) -> Result<Model> {
+        if !self.supports(task) {
+            return Err(MlError::Invalid(format!("{self:?} does not support {task:?}")));
+        }
+        match *self {
+            ModelKind::RandomForest { n_trees, max_depth } => {
+                let cfg = ForestConfig { n_trees, max_depth, seed, ..Default::default() };
+                Ok(Model::RandomForest(RandomForest::fit_xy(x, y, task, &cfg)?))
+            }
+            ModelKind::DecisionTree { max_depth } => {
+                let cfg = TreeConfig { max_depth, seed, ..Default::default() };
+                Ok(Model::DecisionTree(DecisionTree::fit_xy(x, y, task, &cfg)?))
+            }
+            ModelKind::Ridge { lambda } => {
+                let mut m = Ridge::new(lambda);
+                m.fit(x, y)?;
+                Ok(Model::Ridge(m))
+            }
+            ModelKind::Lasso { alpha } => {
+                let mut m = Lasso::new(alpha);
+                m.fit(x, y)?;
+                Ok(Model::Lasso(m))
+            }
+            ModelKind::Logistic { lambda } => {
+                let mut m = LogisticRegression::new(lambda);
+                m.fit(x, y, task.n_classes())?;
+                Ok(Model::Logistic(m))
+            }
+            ModelKind::LinearSvm { lambda } => {
+                let mut m = LinearSvm::new(lambda);
+                m.seed = seed;
+                m.fit(x, y, task.n_classes())?;
+                Ok(Model::LinearSvm(m))
+            }
+            ModelKind::RbfSvm { c } => {
+                let mut m = RbfSvm::new(SvmConfig { c, seed, ..Default::default() });
+                m.fit(x, y, task.n_classes())?;
+                Ok(Model::RbfSvm(Box::new(m)))
+            }
+        }
+    }
+}
+
+/// A fitted model.
+#[derive(Debug, Clone)]
+pub enum Model {
+    /// Fitted forest.
+    RandomForest(RandomForest),
+    /// Fitted tree.
+    DecisionTree(DecisionTree),
+    /// Fitted ridge.
+    Ridge(Ridge),
+    /// Fitted lasso.
+    Lasso(Lasso),
+    /// Fitted logistic regression.
+    Logistic(LogisticRegression),
+    /// Fitted linear SVM.
+    LinearSvm(LinearSvm),
+    /// Fitted RBF SVM (boxed: it retains its training matrix).
+    RbfSvm(Box<RbfSvm>),
+}
+
+impl Model {
+    /// Predict rows of `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        match self {
+            Model::RandomForest(m) => m.predict(x),
+            Model::DecisionTree(m) => m.predict(x),
+            Model::Ridge(m) => m.predict(x),
+            Model::Lasso(m) => m.predict(x),
+            Model::Logistic(m) => m.predict(x),
+            Model::LinearSvm(m) => m.predict(x),
+            Model::RbfSvm(m) => m.predict(x),
+        }
+    }
+}
+
+/// Higher-is-better score for a task: accuracy for classification, R² for
+/// regression.
+pub fn score_for_task(task: Task, pred: &[f64], truth: &[f64]) -> f64 {
+    match task {
+        Task::Classification { .. } => metrics::accuracy(pred, truth),
+        Task::Regression => metrics::r2(pred, truth),
+    }
+}
+
+/// Fit `kind` on the `train` rows of `data` and score on the `test` rows.
+pub fn holdout_score(
+    data: &Dataset,
+    kind: &ModelKind,
+    train: &[usize],
+    test: &[usize],
+    seed: u64,
+) -> Result<f64> {
+    let tr = data.select_rows(train)?;
+    let te = data.select_rows(test)?;
+    let model = kind.fit(&tr.x, &tr.y, data.task, seed)?;
+    let pred = model.predict(&te.x)?;
+    Ok(score_for_task(data.task, &pred, &te.y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_classification() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 2) as f64 * 4.0 + rng.gen_range(-0.5..0.5)])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| (i % 2) as f64).collect();
+        Dataset::new(
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            vec!["f".into()],
+            Task::Classification { n_classes: 2 },
+        )
+        .unwrap()
+    }
+
+    fn toy_regression() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64 + 1.0).collect();
+        Dataset::new(Matrix::from_rows(&rows).unwrap(), y, vec!["f".into()], Task::Regression)
+            .unwrap()
+    }
+
+    #[test]
+    fn supports_matrix() {
+        let cls = Task::Classification { n_classes: 2 };
+        assert!(ModelKind::default_forest().supports(cls));
+        assert!(ModelKind::default_forest().supports(Task::Regression));
+        assert!(!ModelKind::Ridge { lambda: 1.0 }.supports(cls));
+        assert!(!ModelKind::Logistic { lambda: 1.0 }.supports(Task::Regression));
+        assert!(ModelKind::RbfSvm { c: 1.0 }.supports(cls));
+    }
+
+    #[test]
+    fn every_classification_model_fits_and_predicts() {
+        let d = toy_classification();
+        for kind in [
+            ModelKind::RandomForest { n_trees: 8, max_depth: 6 },
+            ModelKind::DecisionTree { max_depth: 6 },
+            ModelKind::Logistic { lambda: 1e-3 },
+            ModelKind::LinearSvm { lambda: 0.01 },
+            ModelKind::RbfSvm { c: 1.0 },
+        ] {
+            let m = kind.fit(&d.x, &d.y, d.task, 0).unwrap();
+            let pred = m.predict(&d.x).unwrap();
+            let acc = metrics::accuracy(&pred, &d.y);
+            assert!(acc > 0.9, "{kind:?} acc {acc}");
+        }
+    }
+
+    #[test]
+    fn every_regression_model_fits_and_predicts() {
+        let d = toy_regression();
+        for kind in [
+            ModelKind::RandomForest { n_trees: 8, max_depth: 10 },
+            ModelKind::DecisionTree { max_depth: 10 },
+            ModelKind::Ridge { lambda: 1e-6 },
+            ModelKind::Lasso { alpha: 0.01 },
+        ] {
+            let m = kind.fit(&d.x, &d.y, d.task, 0).unwrap();
+            let pred = m.predict(&d.x).unwrap();
+            let score = metrics::r2(&pred, &d.y);
+            assert!(score > 0.9, "{kind:?} r2 {score}");
+        }
+    }
+
+    #[test]
+    fn unsupported_task_errors() {
+        let d = toy_regression();
+        assert!(ModelKind::Logistic { lambda: 1.0 }.fit(&d.x, &d.y, d.task, 0).is_err());
+    }
+
+    #[test]
+    fn holdout_score_runs() {
+        let d = toy_classification();
+        let (train, test) = crate::split::train_test_split(d.n_samples(), 0.3, 0);
+        let s = holdout_score(&d, &ModelKind::DecisionTree { max_depth: 4 }, &train, &test, 0)
+            .unwrap();
+        assert!(s > 0.9, "score {s}");
+    }
+
+    #[test]
+    fn score_for_task_dispatch() {
+        let cls = Task::Classification { n_classes: 2 };
+        assert_eq!(score_for_task(cls, &[1.0, 0.0], &[1.0, 1.0]), 0.5);
+        let r = score_for_task(Task::Regression, &[1.0, 2.0], &[1.0, 2.0]);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

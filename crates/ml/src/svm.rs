@@ -1,0 +1,325 @@
+//! RBF-kernel SVM trained with a simplified SMO solver.
+//!
+//! The paper's final estimator for classification tasks is "SVM with RBF
+//! kernel" alongside the random forest, with the better score reported (§7).
+//! This is a from-scratch binary SMO (Platt-style, simplified working-set
+//! selection) lifted to multiclass with one-vs-rest.
+
+use crate::{MlError, Result};
+use arda_linalg::stats::{apply_standardization, standardize_columns};
+use arda_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SVM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Box constraint C.
+    pub c: f64,
+    /// RBF width γ (`None` → 1/d heuristic).
+    pub gamma: Option<f64>,
+    /// KKT tolerance.
+    pub tol: f64,
+    /// Maximum passes without α changes before stopping.
+    pub max_passes: usize,
+    /// Hard cap on SMO iterations.
+    pub max_iter: usize,
+    /// RNG seed (partner selection).
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig { c: 1.0, gamma: None, tol: 1e-3, max_passes: 3, max_iter: 2000, seed: 0 }
+    }
+}
+
+/// Binary SMO state for one one-vs-rest head.
+#[derive(Debug, Clone)]
+struct BinaryHead {
+    alphas: Vec<f64>,
+    bias: f64,
+    support_rows: Vec<usize>,
+    targets: Vec<f64>, // ±1 aligned with support_rows
+}
+
+/// RBF-kernel SVM (binary or one-vs-rest multiclass).
+#[derive(Debug, Clone)]
+pub struct RbfSvm {
+    cfg: SvmConfig,
+    gamma: f64,
+    n_classes: usize,
+    train_x: Matrix,
+    heads: Vec<BinaryHead>,
+    scaling: Vec<(f64, f64)>,
+}
+
+impl RbfSvm {
+    /// Create an un-fitted SVM.
+    pub fn new(cfg: SvmConfig) -> Self {
+        RbfSvm {
+            cfg,
+            gamma: 0.0,
+            n_classes: 0,
+            train_x: Matrix::zeros(0, 0),
+            heads: Vec::new(),
+            scaling: Vec::new(),
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-self.gamma * d2).exp()
+    }
+
+    /// Fit with labels `0..n_classes`.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64], n_classes: usize) -> Result<()> {
+        if x.rows() == 0 {
+            return Err(MlError::Invalid("empty training set".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::ShapeMismatch(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        if n_classes < 2 {
+            return Err(MlError::Invalid("svm needs ≥2 classes".into()));
+        }
+        let mut xs = x.clone();
+        self.scaling = standardize_columns(&mut xs);
+        self.gamma = self.cfg.gamma.unwrap_or(1.0 / xs.cols().max(1) as f64);
+        self.n_classes = n_classes;
+        self.train_x = xs;
+        self.heads.clear();
+
+        let heads = if n_classes == 2 { 1 } else { n_classes };
+        for cls in 0..heads {
+            let targets: Vec<f64> = y
+                .iter()
+                .map(|&v| {
+                    let positive =
+                        if n_classes == 2 { v >= 1.0 } else { (v as usize) == cls };
+                    if positive {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            let head = self.smo(&targets)?;
+            self.heads.push(head);
+        }
+        Ok(())
+    }
+
+    /// Simplified SMO on ±1 targets over `self.train_x`.
+    fn smo(&self, t: &[f64]) -> Result<BinaryHead> {
+        let n = t.len();
+        let x = &self.train_x;
+        let c = self.cfg.c;
+        let tol = self.cfg.tol;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        // Precompute the kernel matrix (training sets here are coreset-sized).
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.kernel(x.row(i), x.row(j));
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+
+        let mut alphas = vec![0.0; n];
+        let mut b = 0.0;
+        let f = |alphas: &[f64], b: f64, k: &Matrix, t: &[f64], i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..alphas.len() {
+                if alphas[j] > 0.0 {
+                    s += alphas[j] * t[j] * k.get(j, i);
+                }
+            }
+            s
+        };
+
+        let mut passes = 0usize;
+        let mut iters = 0usize;
+        while passes < self.cfg.max_passes && iters < self.cfg.max_iter {
+            iters += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = f(&alphas, b, &k, t, i) - t[i];
+                if (t[i] * ei < -tol && alphas[i] < c) || (t[i] * ei > tol && alphas[i] > 0.0) {
+                    // Random partner j ≠ i.
+                    let mut j = rng.gen_range(0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let ej = f(&alphas, b, &k, t, j) - t[j];
+                    let (ai_old, aj_old) = (alphas[i], alphas[j]);
+                    let (lo, hi) = if t[i] != t[j] {
+                        ((aj_old - ai_old).max(0.0), (c + aj_old - ai_old).min(c))
+                    } else {
+                        ((ai_old + aj_old - c).max(0.0), (ai_old + aj_old).min(c))
+                    };
+                    if (hi - lo).abs() < 1e-12 {
+                        continue;
+                    }
+                    let eta = 2.0 * k.get(i, j) - k.get(i, i) - k.get(j, j);
+                    if eta >= 0.0 {
+                        continue;
+                    }
+                    let mut aj = aj_old - t[j] * (ei - ej) / eta;
+                    aj = aj.clamp(lo, hi);
+                    if (aj - aj_old).abs() < 1e-7 {
+                        continue;
+                    }
+                    let ai = ai_old + t[i] * t[j] * (aj_old - aj);
+                    alphas[i] = ai;
+                    alphas[j] = aj;
+                    let b1 = b
+                        - ei
+                        - t[i] * (ai - ai_old) * k.get(i, i)
+                        - t[j] * (aj - aj_old) * k.get(i, j);
+                    let b2 = b
+                        - ej
+                        - t[i] * (ai - ai_old) * k.get(i, j)
+                        - t[j] * (aj - aj_old) * k.get(j, j);
+                    b = if ai > 0.0 && ai < c {
+                        b1
+                    } else if aj > 0.0 && aj < c {
+                        b2
+                    } else {
+                        (b1 + b2) / 2.0
+                    };
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        let support_rows: Vec<usize> = (0..n).filter(|&i| alphas[i] > 1e-9).collect();
+        Ok(BinaryHead {
+            alphas: support_rows.iter().map(|&i| alphas[i]).collect(),
+            bias: b,
+            targets: support_rows.iter().map(|&i| t[i]).collect(),
+            support_rows,
+        })
+    }
+
+    fn decision(&self, head: &BinaryHead, row: &[f64]) -> f64 {
+        let mut s = head.bias;
+        for ((&sv, &a), &t) in
+            head.support_rows.iter().zip(&head.alphas).zip(&head.targets)
+        {
+            s += a * t * self.kernel(self.train_x.row(sv), row);
+        }
+        s
+    }
+
+    /// Predicted class ids.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.heads.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.scaling.len() {
+            return Err(MlError::ShapeMismatch("predict width".into()));
+        }
+        let mut xs = x.clone();
+        apply_standardization(&mut xs, &self.scaling);
+        let mut out = Vec::with_capacity(xs.rows());
+        for r in 0..xs.rows() {
+            if self.n_classes == 2 {
+                let z = self.decision(&self.heads[0], xs.row(r));
+                out.push(if z >= 0.0 { 1.0 } else { 0.0 });
+            } else {
+                let best = self
+                    .heads
+                    .iter()
+                    .map(|h| self.decision(h, xs.row(r)))
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(c, _)| c as f64)
+                    .unwrap_or(0.0);
+                out.push(best);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of support vectors in the first head (diagnostics).
+    pub fn n_support(&self) -> usize {
+        self.heads.first().map_or(0, |h| h.support_rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        // Inner cluster = class 0, outer ring = class 1 — not linearly
+        // separable, requires the RBF kernel.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = (i % 2) as f64;
+            let radius = if cls == 0.0 { rng.gen_range(0.0..0.8) } else { rng.gen_range(2.0..3.0) };
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            rows.push(vec![radius * theta.cos(), radius * theta.sin()]);
+            y.push(cls);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separates_rings() {
+        let (x, y) = ring_data(150, 0);
+        let mut svm = RbfSvm::new(SvmConfig { c: 5.0, ..Default::default() });
+        svm.fit(&x, &y, 2).unwrap();
+        let preds = svm.predict(&x).unwrap();
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "acc {acc}");
+        assert!(svm.n_support() > 0);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let cls = i % 3;
+            let offset = cls as f64 * 5.0;
+            rows.push(vec![offset + (i as f64 * 0.37).sin() * 0.3, (i as f64 * 0.73).cos() * 0.3]);
+            y.push(cls as f64);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut svm = RbfSvm::new(SvmConfig::default());
+        svm.fit(&x, &y, 3).unwrap();
+        let preds = svm.predict(&x).unwrap();
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut svm = RbfSvm::new(SvmConfig::default());
+        assert!(matches!(svm.predict(&Matrix::zeros(1, 1)), Err(MlError::NotFitted)));
+        assert!(svm.fit(&Matrix::zeros(0, 1), &[], 2).is_err());
+        assert!(svm.fit(&Matrix::zeros(2, 1), &[0.0, 1.0], 1).is_err());
+        assert!(svm.fit(&Matrix::zeros(2, 1), &[0.0], 2).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = ring_data(80, 3);
+        let mut a = RbfSvm::new(SvmConfig { seed: 1, ..Default::default() });
+        a.fit(&x, &y, 2).unwrap();
+        let mut b = RbfSvm::new(SvmConfig { seed: 1, ..Default::default() });
+        b.fit(&x, &y, 2).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+}

@@ -1,0 +1,145 @@
+//! F-test feature scoring: one-way ANOVA F for classification, the
+//! regression F statistic from the Pearson correlation for regression (the
+//! "f-test" baseline of Tables 1/6).
+
+use arda_linalg::stats::pearson;
+use arda_linalg::Matrix;
+use arda_ml::Task;
+
+/// One-way ANOVA F statistic of `feature` against class ids.
+pub fn anova_f(feature: &[f64], labels: &[f64], n_classes: usize) -> f64 {
+    assert_eq!(feature.len(), labels.len(), "anova_f: length mismatch");
+    let n = feature.len();
+    if n == 0 || n_classes < 2 {
+        return 0.0;
+    }
+    let grand_mean = feature.iter().sum::<f64>() / n as f64;
+    let mut group_sum = vec![0.0; n_classes];
+    let mut group_n = vec![0usize; n_classes];
+    for (&v, &y) in feature.iter().zip(labels) {
+        let c = (y as usize).min(n_classes - 1);
+        group_sum[c] += v;
+        group_n[c] += 1;
+    }
+    let present = group_n.iter().filter(|&&c| c > 0).count();
+    if present < 2 {
+        return 0.0;
+    }
+    let mut ss_between = 0.0;
+    for c in 0..n_classes {
+        if group_n[c] == 0 {
+            continue;
+        }
+        let mean = group_sum[c] / group_n[c] as f64;
+        ss_between += group_n[c] as f64 * (mean - grand_mean) * (mean - grand_mean);
+    }
+    let mut ss_within = 0.0;
+    for (&v, &y) in feature.iter().zip(labels) {
+        let c = (y as usize).min(n_classes - 1);
+        let mean = group_sum[c] / group_n[c] as f64;
+        ss_within += (v - mean) * (v - mean);
+    }
+    let df_between = (present - 1) as f64;
+    let df_within = (n - present) as f64;
+    if ss_within <= 1e-12 || df_within <= 0.0 {
+        // Perfect separation — return a large finite statistic.
+        return if ss_between > 0.0 { 1e12 } else { 0.0 };
+    }
+    (ss_between / df_between) / (ss_within / df_within)
+}
+
+/// Univariate regression F statistic: `F = r² (n−2) / (1−r²)`.
+pub fn regression_f(feature: &[f64], y: &[f64]) -> f64 {
+    let n = feature.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let r = pearson(feature, y);
+    let r2 = r * r;
+    if (1.0 - r2) <= 1e-12 {
+        return 1e12;
+    }
+    r2 * (n as f64 - 2.0) / (1.0 - r2)
+}
+
+/// F scores of all columns of `x` for the given task.
+pub fn f_scores(x: &Matrix, y: &[f64], task: Task) -> Vec<f64> {
+    (0..x.cols())
+        .map(|c| {
+            let col = x.col(c);
+            match task {
+                Task::Classification { n_classes } => anova_f(&col, y, n_classes),
+                Task::Regression => regression_f(&col, y),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn anova_separated_groups_score_high() {
+        let labels: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let separated: Vec<f64> =
+            labels.iter().map(|&c| c * 10.0 + rng.gen_range(-0.5..0.5)).collect();
+        let noise: Vec<f64> = (0..100).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        assert!(anova_f(&separated, &labels, 2) > 100.0);
+        assert!(anova_f(&noise, &labels, 2) < 5.0);
+    }
+
+    #[test]
+    fn anova_three_groups() {
+        let labels: Vec<f64> = (0..90).map(|i| (i % 3) as f64).collect();
+        let x: Vec<f64> = labels.iter().map(|&c| c * 5.0).collect();
+        // Perfect separation → large finite value.
+        assert!(anova_f(&x, &labels, 3) >= 1e12);
+    }
+
+    #[test]
+    fn anova_degenerate_cases() {
+        assert_eq!(anova_f(&[], &[], 2), 0.0);
+        assert_eq!(anova_f(&[1.0, 2.0], &[0.0, 0.0], 2), 0.0); // single class present
+        assert_eq!(anova_f(&[1.0, 2.0], &[0.0, 1.0], 1), 0.0); // k < 2
+        let constant = vec![3.0; 10];
+        let labels: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
+        assert_eq!(anova_f(&constant, &labels, 2), 0.0);
+    }
+
+    #[test]
+    fn regression_f_correlated_beats_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let y: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let corr: Vec<f64> = y.iter().map(|v| 2.0 * v + rng.gen_range(-5.0..5.0)).collect();
+        let noise: Vec<f64> = (0..200).map(|_| rng.gen_range(0.0..200.0)).collect();
+        assert!(regression_f(&corr, &y) > 100.0 * regression_f(&noise, &y).max(1.0));
+    }
+
+    #[test]
+    fn regression_f_perfect_correlation_is_large() {
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(regression_f(&y, &y) >= 1e12);
+        assert_eq!(regression_f(&[1.0, 2.0], &[1.0, 2.0]), 0.0); // n < 3
+    }
+
+    #[test]
+    fn f_scores_dispatch_by_task() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![10.0, 2.0],
+            vec![0.1, 3.0],
+            vec![10.1, 4.0],
+        ])
+        .unwrap();
+        let y_cls = vec![0.0, 1.0, 0.0, 1.0];
+        let s = f_scores(&x, &y_cls, Task::Classification { n_classes: 2 });
+        assert!(s[0] > s[1]);
+        let y_reg = vec![1.0, 2.0, 3.0, 4.0];
+        let s = f_scores(&x, &y_reg, Task::Regression);
+        assert!(s[1] > s[0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Histogram-based mutual information between each feature and the target
+//! (the "mutual info" filter baseline of Tables 1/6).
+
+use arda_ml::Task;
+
+/// Equal-width bin index of `v` over `[lo, hi]` with `bins` buckets.
+fn bin_of(v: f64, lo: f64, hi: f64, bins: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    let t = ((v - lo) / (hi - lo) * bins as f64).floor() as isize;
+    t.clamp(0, bins as isize - 1) as usize
+}
+
+/// Discretise the target: class ids pass through; regression targets are
+/// quantile-binned into `bins` buckets.
+pub fn discretize_target(y: &[f64], task: Task, bins: usize) -> (Vec<usize>, usize) {
+    match task {
+        Task::Classification { n_classes } => {
+            (y.iter().map(|&v| (v as usize).min(n_classes.saturating_sub(1))).collect(), n_classes.max(1))
+        }
+        Task::Regression => {
+            let bins = bins.max(2);
+            let mut sorted: Vec<f64> = y.to_vec();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            // Quantile edges.
+            let edges: Vec<f64> = (1..bins)
+                .map(|b| sorted[(b * sorted.len() / bins).min(sorted.len() - 1)])
+                .collect();
+            let ids = y
+                .iter()
+                .map(|&v| edges.partition_point(|&e| e < v).min(bins - 1))
+                .collect();
+            (ids, bins)
+        }
+    }
+}
+
+/// Mutual information (nats) between a continuous feature and a discrete
+/// target, via an equal-width histogram on the feature.
+pub fn mutual_information(feature: &[f64], target_ids: &[usize], n_target: usize, bins: usize) -> f64 {
+    assert_eq!(feature.len(), target_ids.len(), "mi: length mismatch");
+    let n = feature.len();
+    if n == 0 || n_target == 0 {
+        return 0.0;
+    }
+    let bins = bins.max(2);
+    let lo = feature.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = feature.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut joint = vec![0usize; bins * n_target];
+    let mut px = vec![0usize; bins];
+    let mut py = vec![0usize; n_target];
+    for (&v, &t) in feature.iter().zip(target_ids) {
+        let b = bin_of(v, lo, hi, bins);
+        joint[b * n_target + t] += 1;
+        px[b] += 1;
+        py[t] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for b in 0..bins {
+        for t in 0..n_target {
+            let c = joint[b * n_target + t];
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / nf;
+            let p_x = px[b] as f64 / nf;
+            let p_y = py[t] as f64 / nf;
+            mi += pxy * (pxy / (p_x * p_y)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// MI score of every column of `x` against `y`.
+pub fn mutual_info_scores(
+    x: &arda_linalg::Matrix,
+    y: &[f64],
+    task: Task,
+    bins: usize,
+) -> Vec<f64> {
+    let (target_ids, n_target) = discretize_target(y, task, bins);
+    (0..x.cols())
+        .map(|c| mutual_information(&x.col(c), &target_ids, n_target, bins))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arda_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn perfect_dependence_beats_noise() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 500;
+        let y: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let signal: Vec<f64> = y.iter().map(|&c| c * 5.0 + rng.gen_range(-0.1..0.1)).collect();
+        let noise: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (ids, k) = discretize_target(&y, Task::Classification { n_classes: 2 }, 10);
+        let mi_signal = mutual_information(&signal, &ids, k, 10);
+        let mi_noise = mutual_information(&noise, &ids, k, 10);
+        assert!(mi_signal > 0.5, "signal MI {mi_signal}");
+        assert!(mi_noise < 0.05, "noise MI {mi_noise}");
+    }
+
+    #[test]
+    fn independent_variables_have_near_zero_mi() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let t: Vec<usize> = (0..2000).map(|_| rng.gen_range(0..4)).collect();
+        let mi = mutual_information(&x, &t, 4, 8);
+        assert!(mi < 0.02, "mi {mi}");
+    }
+
+    #[test]
+    fn regression_target_quantile_bins() {
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (ids, bins) = discretize_target(&y, Task::Regression, 4);
+        assert_eq!(bins, 4);
+        // Quartiles should have 25 members each.
+        for b in 0..4 {
+            let c = ids.iter().filter(|&&v| v == b).count();
+            assert!((20..=30).contains(&c), "bin {b} has {c}");
+        }
+    }
+
+    #[test]
+    fn scores_rank_signal_first() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 300;
+        let y: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![y[i] * 2.0, rng.gen_range(-1.0..1.0)])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let scores = mutual_info_scores(&x, &y, Task::Regression, 8);
+        assert!(scores[0] > scores[1] * 3.0, "{scores:?}");
+    }
+
+    #[test]
+    fn constant_feature_zero_mi() {
+        let x = vec![5.0; 100];
+        let t: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        assert_eq!(mutual_information(&x, &t, 2, 8), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mutual_information(&[], &[], 2, 4), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The Tuple-Ratio decision rule of Kumar et al. ("To join or not to join?",
+//! SIGMOD 2016), used by ARDA as an optional table pre-filter (§7 "Tuple
+//! Ratio Test", Table 4).
+//!
+//! The Tuple Ratio is `nS / nR`: base-table training examples over the
+//! foreign-key domain size. When it exceeds a threshold τ, the foreign table
+//! is "safe to avoid" — the key itself already carries all the signal the
+//! join could add — so ARDA can skip the join (and all downstream feature
+//! selection for that table).
+
+/// Outcome of the rule for one candidate table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleRatioDecision {
+    /// Ratio above threshold: drop the table before feature selection.
+    Eliminate,
+    /// Ratio at or below threshold: keep the candidate.
+    Keep,
+}
+
+/// Apply the rule: `tuple_ratio = n_base_rows / foreign_key_domain`.
+///
+/// `threshold` is the tuned τ (Table 4 optimises it per dataset; Kumar et
+/// al. suggest per-model tuning with τ ≈ 20 for linear models). An empty
+/// foreign-key domain yields an infinite ratio → eliminate.
+pub fn tuple_ratio_filter(
+    n_base_rows: usize,
+    foreign_key_domain: usize,
+    threshold: f64,
+) -> TupleRatioDecision {
+    let ratio = if foreign_key_domain == 0 {
+        f64::INFINITY
+    } else {
+        n_base_rows as f64 / foreign_key_domain as f64
+    };
+    if ratio > threshold {
+        TupleRatioDecision::Eliminate
+    } else {
+        TupleRatioDecision::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_ratio_eliminates() {
+        // 1000 rows, 10 distinct keys → ratio 100 > τ=20.
+        assert_eq!(tuple_ratio_filter(1000, 10, 20.0), TupleRatioDecision::Eliminate);
+    }
+
+    #[test]
+    fn low_ratio_keeps() {
+        // 100 rows, 90 distinct keys → ratio ≈ 1.1 ≤ τ=20.
+        assert_eq!(tuple_ratio_filter(100, 90, 20.0), TupleRatioDecision::Keep);
+    }
+
+    #[test]
+    fn boundary_is_kept() {
+        assert_eq!(tuple_ratio_filter(200, 10, 20.0), TupleRatioDecision::Keep);
+    }
+
+    #[test]
+    fn empty_domain_eliminates() {
+        assert_eq!(tuple_ratio_filter(10, 0, 20.0), TupleRatioDecision::Eliminate);
+    }
+}

@@ -1,0 +1,172 @@
+//! Wrapper selectors: forward selection, backward elimination and recursive
+//! feature elimination, all driven by the random-forest ranking as in the
+//! paper ("Forward Selection, Backward Selection, and Recursive Feature
+//! elimination (RFE) use Random Forest ranker", §7).
+
+use crate::ranking::{order_by_scores, rank_features, RankingMethod};
+use crate::{Result, SelectionContext};
+use arda_ml::Dataset;
+
+/// Forward selection: walk the ranking best-first, greedily keeping each
+/// feature that improves the holdout score. Stops early after `patience`
+/// consecutive non-improvements (the paper observes forward selection is
+/// accurate but an order of magnitude slower than RIFS — the per-step refits
+/// are the cost).
+pub fn forward_selection(data: &Dataset, ctx: &SelectionContext) -> Result<Vec<usize>> {
+    let train_data = data.select_rows(&ctx.train)?;
+    let scores = rank_features(&train_data, RankingMethod::RandomForest, ctx.seed)?;
+    let order = order_by_scores(&scores);
+
+    let patience = 8usize;
+    let mut selected: Vec<usize> = Vec::new();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut misses = 0usize;
+    for &f in &order {
+        let mut candidate = selected.clone();
+        candidate.push(f);
+        let score = ctx.evaluate(data, &candidate)?;
+        if score > best_score {
+            best_score = score;
+            selected = candidate;
+            misses = 0;
+        } else {
+            misses += 1;
+            if misses >= patience {
+                break;
+            }
+        }
+    }
+    if selected.is_empty() && !order.is_empty() {
+        selected.push(order[0]);
+    }
+    Ok(selected)
+}
+
+/// Backward elimination: start from all features and walk the ranking
+/// worst-first, dropping each feature whose removal does not hurt the
+/// holdout score.
+pub fn backward_elimination(data: &Dataset, ctx: &SelectionContext) -> Result<Vec<usize>> {
+    let train_data = data.select_rows(&ctx.train)?;
+    let scores = rank_features(&train_data, RankingMethod::RandomForest, ctx.seed)?;
+    let mut order = order_by_scores(&scores);
+    order.reverse(); // worst first
+
+    let mut selected: Vec<usize> = (0..data.n_features()).collect();
+    let mut best_score = ctx.evaluate(data, &selected)?;
+    for &f in &order {
+        if selected.len() <= 1 {
+            break;
+        }
+        let candidate: Vec<usize> = selected.iter().copied().filter(|&j| j != f).collect();
+        let score = ctx.evaluate(data, &candidate)?;
+        if score >= best_score {
+            best_score = score;
+            selected = candidate;
+        }
+    }
+    Ok(selected)
+}
+
+/// Recursive feature elimination: repeatedly refit the random-forest ranker
+/// on the surviving features and drop the worst `drop_fraction`, tracking
+/// the best-scoring subset seen.
+pub fn rfe(data: &Dataset, ctx: &SelectionContext) -> Result<Vec<usize>> {
+    let drop_fraction = 0.25f64;
+    let mut current: Vec<usize> = (0..data.n_features()).collect();
+    let mut best_subset = current.clone();
+    let mut best_score = ctx.evaluate(data, &current)?;
+
+    while current.len() > 2 {
+        // Re-rank the surviving features on the train split.
+        let sub = data.select_features(&current)?.select_rows(&ctx.train)?;
+        let scores = rank_features(&sub, RankingMethod::RandomForest, ctx.seed)?;
+        let order = order_by_scores(&scores); // indices into `current`
+        let keep = (current.len() as f64 * (1.0 - drop_fraction)).floor() as usize;
+        let keep = keep.clamp(1, current.len() - 1);
+        let mut next: Vec<usize> = order[..keep].iter().map(|&i| current[i]).collect();
+        next.sort_unstable();
+        let score = ctx.evaluate(data, &next)?;
+        if score >= best_score {
+            best_score = score;
+            best_subset = next.clone();
+        }
+        current = next;
+    }
+    Ok(best_subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arda_linalg::Matrix;
+    use arda_ml::Task;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted(n: usize, n_noise: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = (i % 2) as f64;
+            let mut row = vec![cls * 3.0 + rng.gen_range(-0.4..0.4)];
+            for _ in 0..n_noise {
+                row.push(rng.gen_range(-1.0..1.0));
+            }
+            rows.push(row);
+            y.push(cls);
+        }
+        let names = (0..1 + n_noise).map(|i| format!("f{i}")).collect();
+        Dataset::new(
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            names,
+            Task::Classification { n_classes: 2 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_keeps_signal() {
+        let d = planted(150, 6, 0);
+        let ctx = SelectionContext::standard(&d, 0);
+        let sel = forward_selection(&d, &ctx).unwrap();
+        assert!(sel.contains(&0), "signal selected: {sel:?}");
+        assert!(sel.len() < d.n_features(), "some noise dropped");
+    }
+
+    #[test]
+    fn backward_drops_noise() {
+        let d = planted(150, 6, 1);
+        let ctx = SelectionContext::standard(&d, 1);
+        let sel = backward_elimination(&d, &ctx).unwrap();
+        assert!(sel.contains(&0), "signal survives: {sel:?}");
+        assert!(sel.len() < d.n_features(), "noise eliminated: {sel:?}");
+    }
+
+    #[test]
+    fn rfe_keeps_signal() {
+        let d = planted(150, 7, 2);
+        let ctx = SelectionContext::standard(&d, 2);
+        let sel = rfe(&d, &ctx).unwrap();
+        assert!(sel.contains(&0), "signal survives RFE: {sel:?}");
+    }
+
+    #[test]
+    fn wrappers_never_return_empty() {
+        let d = planted(60, 2, 3);
+        let ctx = SelectionContext::standard(&d, 3);
+        assert!(!forward_selection(&d, &ctx).unwrap().is_empty());
+        assert!(!backward_elimination(&d, &ctx).unwrap().is_empty());
+        assert!(!rfe(&d, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_feature_dataset() {
+        let d = planted(60, 0, 4);
+        let ctx = SelectionContext::standard(&d, 4);
+        assert_eq!(forward_selection(&d, &ctx).unwrap(), vec![0]);
+        assert_eq!(backward_elimination(&d, &ctx).unwrap(), vec![0]);
+        assert_eq!(rfe(&d, &ctx).unwrap(), vec![0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Scenario types shared by the generators.
+
+use arda_table::Table;
+
+/// Generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Base-table rows.
+    pub n_rows: usize,
+    /// Number of decoy (noise) tables in the repository.
+    pub n_decoys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig { n_rows: 400, n_decoys: 20, seed: 0 }
+    }
+}
+
+/// A complete augmentation scenario: base table + repository + ground truth.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (paper dataset it mirrors).
+    pub name: String,
+    /// The user's base table (contains the target column).
+    pub base: Table,
+    /// Candidate tables (relevant ones first is NOT guaranteed — order is
+    /// shuffled like a real discovery result).
+    pub repository: Vec<Table>,
+    /// Target column name in the base table.
+    pub target: String,
+    /// True for classification targets.
+    pub classification: bool,
+    /// Names of repository tables that truly carry signal.
+    pub relevant_tables: Vec<String>,
+}
+
+impl Scenario {
+    /// Fraction of repository tables that are decoys.
+    pub fn decoy_fraction(&self) -> f64 {
+        if self.repository.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.relevant_tables.len() as f64 / self.repository.len() as f64
+    }
+
+    /// Look up a repository table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.repository.iter().find(|t| t.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arda_table::Column;
+
+    #[test]
+    fn decoy_fraction_math() {
+        let t = Table::new("sig", vec![Column::from_i64("k", vec![1])]).unwrap();
+        let d = Table::new("decoy", vec![Column::from_i64("k", vec![1])]).unwrap();
+        let s = Scenario {
+            name: "x".into(),
+            base: t.clone(),
+            repository: vec![t.clone(), d],
+            target: "k".into(),
+            classification: false,
+            relevant_tables: vec!["sig".into()],
+        };
+        assert!((s.decoy_fraction() - 0.5).abs() < 1e-12);
+        assert!(s.table("decoy").is_some());
+        assert!(s.table("nope").is_none());
+    }
+}

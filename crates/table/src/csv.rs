@@ -1,0 +1,258 @@
+//! Minimal CSV reading/writing with type inference.
+//!
+//! ARDA's inputs are repositories of heterogeneous tables; CSV is the lingua
+//! franca. This module implements a small RFC-4180-ish parser (quoted fields,
+//! embedded commas/quotes) plus per-column type inference with the priority
+//! `Int → Float → Bool → Str`; empty fields become nulls.
+
+use crate::{Column, ColumnData, Result, Table, TableError};
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse one CSV record, honouring double quotes.
+fn parse_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Inferred {
+    Int,
+    Float,
+    Bool,
+    Str,
+}
+
+fn infer_one(s: &str) -> Inferred {
+    if s.parse::<i64>().is_ok() {
+        Inferred::Int
+    } else if s.parse::<f64>().is_ok() {
+        Inferred::Float
+    } else if matches!(s, "true" | "false" | "TRUE" | "FALSE" | "True" | "False") {
+        Inferred::Bool
+    } else {
+        Inferred::Str
+    }
+}
+
+/// Widen `a` to cover `b`.
+fn unify(a: Inferred, b: Inferred) -> Inferred {
+    use Inferred::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        (Int, Float) | (Float, Int) => Float,
+        _ => Str,
+    }
+}
+
+/// Read a table from CSV text. The first record is the header. An empty
+/// line is a record of empty (null) fields — only the final trailing
+/// newline is ignored.
+pub fn read_csv_str(name: &str, text: &str) -> Result<Table> {
+    let mut raw: Vec<&str> = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l)).collect();
+    if raw.last() == Some(&"") {
+        raw.pop();
+    }
+    let mut lines = raw.into_iter();
+    let header = lines.next().ok_or_else(|| TableError::Csv("empty input".into()))?;
+    if header.trim().is_empty() {
+        return Err(TableError::Csv("empty header".into()));
+    }
+    let names = parse_record(header);
+    let width = names.len();
+
+    let mut cells: Vec<Vec<Option<String>>> = vec![Vec::new(); width];
+    for (row_no, line) in lines.enumerate() {
+        let rec = parse_record(line);
+        if rec.len() != width {
+            return Err(TableError::Csv(format!(
+                "row {} has {} fields, expected {width}",
+                row_no + 2,
+                rec.len()
+            )));
+        }
+        for (c, field) in rec.into_iter().enumerate() {
+            cells[c].push(if field.is_empty() { None } else { Some(field) });
+        }
+    }
+
+    let mut columns = Vec::with_capacity(width);
+    for (c, name) in names.iter().enumerate() {
+        let mut ty: Option<Inferred> = None;
+        for v in cells[c].iter().flatten() {
+            let t = infer_one(v);
+            ty = Some(match ty {
+                None => t,
+                Some(prev) => unify(prev, t),
+            });
+        }
+        let data = match ty.unwrap_or(Inferred::Str) {
+            Inferred::Int => ColumnData::Int(
+                cells[c]
+                    .iter()
+                    .map(|v| v.as_deref().map(|s| s.parse::<i64>().expect("inferred int")))
+                    .collect(),
+            ),
+            Inferred::Float => ColumnData::Float(
+                cells[c]
+                    .iter()
+                    .map(|v| v.as_deref().map(|s| s.parse::<f64>().expect("inferred float")))
+                    .collect(),
+            ),
+            Inferred::Bool => ColumnData::Bool(
+                cells[c]
+                    .iter()
+                    .map(|v| v.as_deref().map(|s| s.eq_ignore_ascii_case("true")))
+                    .collect(),
+            ),
+            Inferred::Str => ColumnData::Str(std::mem::take(&mut cells[c])),
+        };
+        columns.push(Column::new(name.clone(), data));
+    }
+    Table::new(name, columns)
+}
+
+/// Read a table from a CSV file; the table is named after the file stem.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| TableError::Csv(e.to_string()))?;
+    let mut text = String::new();
+    BufReader::new(file)
+        .read_to_string(&mut text)
+        .map_err(|e| TableError::Csv(e.to_string()))?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table");
+    read_csv_str(name, &text)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write a table as CSV (nulls become empty fields).
+pub fn write_csv(table: &Table, mut out: impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| TableError::Csv(e.to_string());
+    let header: Vec<String> =
+        table.columns().iter().map(|c| escape(c.name())).collect();
+    writeln!(out, "{}", header.join(",")).map_err(io_err)?;
+    for i in 0..table.n_rows() {
+        let row: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let v = c.get(i);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape(&v.to_string())
+                }
+            })
+            .collect();
+        writeln!(out, "{}", row.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Value};
+
+    #[test]
+    fn parses_types_and_nulls() {
+        let t = read_csv_str("t", "id,price,name,flag\n1,2.5,apple,true\n2,,pear,false\n")
+            .unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.column("id").unwrap().dtype(), DataType::Int);
+        assert_eq!(t.column("price").unwrap().dtype(), DataType::Float);
+        assert_eq!(t.column("name").unwrap().dtype(), DataType::Str);
+        assert_eq!(t.column("flag").unwrap().dtype(), DataType::Bool);
+        assert!(t.column("price").unwrap().get(1).is_null());
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let t = read_csv_str("t", "x\n1\n2.5\n").unwrap();
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Float);
+        assert_eq!(t.column("x").unwrap().get_f64(0), Some(1.0));
+    }
+
+    #[test]
+    fn mixed_becomes_string() {
+        let t = read_csv_str("t", "x\n1\nhello\n").unwrap();
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Str);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = read_csv_str("t", "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.column("a").unwrap().get(0), Value::Str("x,y".into()));
+        assert_eq!(t.column("b").unwrap().get(0), Value::Str("he said \"hi\"".into()));
+    }
+
+    #[test]
+    fn ragged_rows_error() {
+        assert!(read_csv_str("t", "a,b\n1\n").is_err());
+        assert!(read_csv_str("t", "").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = read_csv_str("t", "id,name\n1,apple\n2,\n").unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv_str("t", std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert!(back.column("name").unwrap().get(1).is_null());
+        assert_eq!(back.column("id").unwrap().get(0), Value::Int(1));
+    }
+
+    #[test]
+    fn write_escapes_commas() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_str("s", vec!["a,b"])],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = read_csv_str("t", "a\n1\n2\n").unwrap();
+        let dir = std::env::temp_dir().join("arda_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.csv");
+        let f = std::fs::File::create(&path).unwrap();
+        write_csv(&t, f).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.name(), "small");
+        assert_eq!(back.n_rows(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Pretty-printed table rendering (for examples and experiment output).
+
+use crate::Table;
+use std::fmt;
+
+/// Render at most `max_rows` rows as an aligned ASCII grid.
+pub fn render(table: &Table, max_rows: usize) -> String {
+    let n_show = table.n_rows().min(max_rows);
+    let mut widths: Vec<usize> =
+        table.columns().iter().map(|c| c.name().chars().count()).collect();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(n_show);
+    for i in 0..n_show {
+        let row: Vec<String> =
+            table.columns().iter().map(|c| c.get(i).to_string()).collect();
+        for (w, cell) in widths.iter_mut().zip(&row) {
+            *w = (*w).max(cell.chars().count());
+        }
+        rows.push(row);
+    }
+
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .columns()
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{:w$}", c.name(), w = w))
+        .collect();
+    out.push_str(&header.join(" | "));
+    out.push('\n');
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&rule.join("-+-"));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{:w$}", cell, w = w))
+            .collect();
+        out.push_str(&line.join(" | "));
+        out.push('\n');
+    }
+    if table.n_rows() > n_show {
+        out.push_str(&format!("... {} more rows\n", table.n_rows() - n_show));
+    }
+    out
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", render(self, 10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Column;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("id", vec![1, 22]),
+                Column::from_str("name", vec!["a", "b"]),
+            ],
+        )
+        .unwrap();
+        let s = render(&t, 10);
+        assert!(s.contains("id"));
+        assert!(s.contains("name"));
+        assert!(s.contains("22"));
+    }
+
+    #[test]
+    fn truncates_long_tables() {
+        let t = Table::new("t", vec![Column::from_i64("x", (0..100).collect())]).unwrap();
+        let s = render(&t, 5);
+        assert!(s.contains("95 more rows"));
+    }
+
+    #[test]
+    fn display_trait_works() {
+        let t = Table::new("t", vec![Column::from_i64("x", vec![7])]).unwrap();
+        assert!(format!("{t}").contains('7'));
+    }
+}

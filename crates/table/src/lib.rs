@@ -1,0 +1,41 @@
+//! # arda-table
+//!
+//! Columnar table substrate for the ARDA reproduction.
+//!
+//! The ARDA pipeline (VLDB 2020) manipulates relational tables: it joins a
+//! user's *base table* against candidate tables from a repository, aggregates
+//! foreign tables to fix join cardinality, imputes missing values and finally
+//! converts the augmented table into a numeric feature matrix. This crate
+//! provides exactly that relational substrate, built from scratch:
+//!
+//! * [`Value`] — a dynamically typed cell, including `Null`.
+//! * [`Column`] — a typed, named column with a null mask (`Vec<Option<T>>`).
+//! * [`Schema`] / [`Field`] — column names and [`DataType`]s.
+//! * [`Table`] — a collection of equal-length columns with relational
+//!   operations: projection, row `take`, filtering, sorting, horizontal
+//!   concatenation and [`GroupBy`] aggregation.
+//! * CSV reading/writing with type inference (for interoperability).
+//!
+//! The engine is deliberately small: ARDA needs LEFT-join-friendly row
+//! addressing, group-by aggregation and cheap columnar access, not a full
+//! query engine.
+
+mod column;
+mod csv;
+mod display;
+mod error;
+mod groupby;
+mod schema;
+mod table;
+mod value;
+
+pub use column::{Column, ColumnData};
+pub use csv::{read_csv, read_csv_str, write_csv};
+pub use error::TableError;
+pub use groupby::{AggExpr, Aggregation, GroupBy};
+pub use schema::{DataType, Field, Schema};
+pub use table::Table;
+pub use value::{Key, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TableError>;

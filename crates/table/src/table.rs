@@ -1,0 +1,437 @@
+//! The [`Table`]: equal-length named columns with relational operations.
+
+use crate::{Column, DataType, Field, Key, Result, Schema, TableError, Value};
+
+/// An in-memory relational table: an ordered set of equal-length [`Column`]s
+/// plus an optional table name (used to prefix columns after joins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Build a table, validating that all columns share one length and that
+    /// names are unique.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self> {
+        let name = name.into();
+        if let Some(first) = columns.first() {
+            let expected = first.len();
+            for c in &columns {
+                if c.len() != expected {
+                    return Err(TableError::LengthMismatch {
+                        expected,
+                        actual: c.len(),
+                        context: format!("table {name}"),
+                    });
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name().to_string()) {
+                return Err(TableError::DuplicateColumn(c.name().to_string()));
+            }
+        }
+        Ok(Table { name, columns })
+    }
+
+    /// An empty, zero-column table.
+    pub fn empty(name: impl Into<String>) -> Self {
+        Table { name: name.into(), columns: Vec::new() }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of rows (0 for a zero-column table).
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The table's schema (derived from its columns).
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.columns.iter().map(|c| Field::new(c.name(), c.dtype())).collect(),
+        )
+        .expect("table invariant guarantees unique column names")
+    }
+
+    /// Column lookup by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| TableError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Positional column access.
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Append a column (must match the row count unless the table is empty).
+    pub fn add_column(&mut self, column: Column) -> Result<()> {
+        if !self.columns.is_empty() && column.len() != self.n_rows() {
+            return Err(TableError::LengthMismatch {
+                expected: self.n_rows(),
+                actual: column.len(),
+                context: format!("add_column({})", column.name()),
+            });
+        }
+        if self.column_index(column.name()).is_some() {
+            return Err(TableError::DuplicateColumn(column.name().to_string()));
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Remove a column by name, returning it.
+    pub fn drop_column(&mut self, name: &str) -> Result<Column> {
+        match self.column_index(name) {
+            Some(i) => Ok(self.columns.remove(i)),
+            None => Err(TableError::ColumnNotFound(name.to_string())),
+        }
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Table> {
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            cols.push(self.column(n)?.clone());
+        }
+        Table::new(self.name.clone(), cols)
+    }
+
+    /// Gather the given row indices into a new table (repeats allowed).
+    pub fn take(&self, indices: &[usize]) -> Result<Table> {
+        let n = self.n_rows();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
+            return Err(TableError::RowOutOfBounds { index: bad, len: n });
+        }
+        let cols = self.columns.iter().map(|c| c.take(indices)).collect();
+        Table::new(self.name.clone(), cols)
+    }
+
+    /// Gather optional row indices; `None` becomes an all-null row. The LEFT
+    /// JOIN primitive.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Result<Table> {
+        let n = self.n_rows();
+        if let Some(bad) = indices.iter().flatten().find(|&&i| i >= n) {
+            return Err(TableError::RowOutOfBounds { index: *bad, len: n });
+        }
+        let cols = self.columns.iter().map(|c| c.take_opt(indices)).collect();
+        Table::new(self.name.clone(), cols)
+    }
+
+    /// Keep rows where `predicate(row_index)` is true.
+    pub fn filter(&self, predicate: impl Fn(usize) -> bool) -> Result<Table> {
+        let idx: Vec<usize> = (0..self.n_rows()).filter(|&i| predicate(i)).collect();
+        self.take(&idx)
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let idx: Vec<usize> = (0..self.n_rows().min(n)).collect();
+        self.take(&idx).expect("head indices in bounds")
+    }
+
+    /// Dynamically typed row view.
+    pub fn row(&self, i: usize) -> Result<Vec<Value>> {
+        if i >= self.n_rows() {
+            return Err(TableError::RowOutOfBounds { index: i, len: self.n_rows() });
+        }
+        Ok(self.columns.iter().map(|c| c.get(i)).collect())
+    }
+
+    /// Row indices sorted ascending by the given column ([`Value::total_cmp`];
+    /// nulls first). Stable.
+    pub fn sort_indices_by(&self, column: &str) -> Result<Vec<usize>> {
+        let col = self.column(column)?;
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        idx.sort_by(|&a, &b| col.get(a).total_cmp(&col.get(b)));
+        Ok(idx)
+    }
+
+    /// New table sorted ascending by `column`.
+    pub fn sort_by(&self, column: &str) -> Result<Table> {
+        let idx = self.sort_indices_by(column)?;
+        self.take(&idx)
+    }
+
+    /// Join keys for the given key columns, one entry per row. `None` marks a
+    /// row whose key contains a null (it will never match).
+    pub fn keys(&self, key_columns: &[&str]) -> Result<Vec<Option<Key>>> {
+        let cols: Vec<&Column> =
+            key_columns.iter().map(|n| self.column(n)).collect::<Result<_>>()?;
+        let n = self.n_rows();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if cols.len() == 1 {
+                out.push(cols[0].get(i).key());
+            } else {
+                out.push(Key::composite(cols.iter().map(|c| c.get(i).key()).collect()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Horizontally concatenate `other`'s columns onto `self`, renaming
+    /// collisions to `{other.name}.{column}` (and numeric suffixes if still
+    /// colliding). Row counts must match.
+    pub fn hstack(&self, other: &Table) -> Result<Table> {
+        if other.n_cols() > 0 && self.n_cols() > 0 && other.n_rows() != self.n_rows() {
+            return Err(TableError::LengthMismatch {
+                expected: self.n_rows(),
+                actual: other.n_rows(),
+                context: "hstack".into(),
+            });
+        }
+        let mut out = self.clone();
+        for col in &other.columns {
+            let mut c = col.clone();
+            if out.column_index(c.name()).is_some() {
+                let mut candidate = format!("{}.{}", other.name, c.name());
+                let mut salt = 2usize;
+                while out.column_index(&candidate).is_some() {
+                    candidate = format!("{}.{}_{salt}", other.name, c.name());
+                    salt += 1;
+                }
+                c.set_name(candidate);
+            }
+            out.columns.push(c);
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenate tables with identical schemas.
+    pub fn vstack(&self, other: &Table) -> Result<Table> {
+        if self.schema() != other.schema() {
+            return Err(TableError::Invalid(format!(
+                "vstack requires identical schemas ({} vs {})",
+                self.name, other.name
+            )));
+        }
+        let mut cols = Vec::with_capacity(self.n_cols());
+        for (a, b) in self.columns.iter().zip(&other.columns) {
+            let mut c = a.clone();
+            for v in b.iter() {
+                c.push(v)?;
+            }
+            cols.push(c);
+        }
+        Table::new(self.name.clone(), cols)
+    }
+
+    /// Names of columns whose dtype is numeric.
+    pub fn numeric_column_names(&self) -> Vec<&str> {
+        self.columns.iter().filter(|c| c.dtype().is_numeric()).map(|c| c.name()).collect()
+    }
+
+    /// Names of string (categorical) columns.
+    pub fn string_column_names(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.dtype() == DataType::Str)
+            .map(|c| c.name())
+            .collect()
+    }
+
+    /// Total null count across all columns.
+    pub fn null_count(&self) -> usize {
+        self.columns.iter().map(Column::null_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_i64("id", vec![1, 2, 3]),
+                Column::from_f64("x", vec![0.5, 1.5, 2.5]),
+                Column::from_str("cat", vec!["a", "b", "a"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let err = Table::new(
+            "bad",
+            vec![Column::from_i64("a", vec![1]), Column::from_i64("b", vec![1, 2])],
+        );
+        assert!(matches!(err, Err(TableError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn construction_validates_unique_names() {
+        let err = Table::new(
+            "bad",
+            vec![Column::from_i64("a", vec![1]), Column::from_f64("a", vec![1.0])],
+        );
+        assert!(matches!(err, Err(TableError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn shape_and_lookup() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.column("x").unwrap().get_f64(2), Some(2.5));
+        assert!(t.column("nope").is_err());
+        assert_eq!(t.column_index("cat"), Some(2));
+    }
+
+    #[test]
+    fn schema_reflects_columns() {
+        let t = sample();
+        let s = t.schema();
+        assert_eq!(s.field("id").unwrap().dtype, DataType::Int);
+        assert_eq!(s.field("cat").unwrap().dtype, DataType::Str);
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let t = sample();
+        let sub = t.take(&[2, 0]).unwrap();
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.column("id").unwrap().get(0), Value::Int(3));
+        let f = t.filter(|i| i != 1).unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert!(t.take(&[9]).is_err());
+    }
+
+    #[test]
+    fn take_opt_nulls() {
+        let t = sample();
+        let j = t.take_opt(&[Some(0), None]).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert!(j.column("x").unwrap().get(1).is_null());
+    }
+
+    #[test]
+    fn sort_by_column() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("v", vec![3.0, 1.0, 2.0])],
+        )
+        .unwrap();
+        let s = t.sort_by("v").unwrap();
+        assert_eq!(s.column("v").unwrap().get_f64(0), Some(1.0));
+        assert_eq!(s.column("v").unwrap().get_f64(2), Some(3.0));
+    }
+
+    #[test]
+    fn keys_single_and_composite() {
+        let t = sample();
+        let k = t.keys(&["id"]).unwrap();
+        assert_eq!(k.len(), 3);
+        assert!(k.iter().all(Option::is_some));
+        let kc = t.keys(&["id", "cat"]).unwrap();
+        assert!(matches!(kc[0], Some(Key::Composite(_))));
+    }
+
+    #[test]
+    fn keys_null_rows_excluded() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64_opt("k", vec![Some(1), None])],
+        )
+        .unwrap();
+        let keys = t.keys(&["k"]).unwrap();
+        assert!(keys[0].is_some());
+        assert!(keys[1].is_none());
+    }
+
+    #[test]
+    fn hstack_renames_collisions() {
+        let a = sample();
+        let b = Table::new(
+            "weather",
+            vec![Column::from_f64("x", vec![9.0, 8.0, 7.0])],
+        )
+        .unwrap();
+        let j = a.hstack(&b).unwrap();
+        assert_eq!(j.n_cols(), 4);
+        assert!(j.column("weather.x").is_ok());
+    }
+
+    #[test]
+    fn hstack_length_mismatch() {
+        let a = sample();
+        let b = Table::new("b", vec![Column::from_i64("y", vec![1])]).unwrap();
+        assert!(a.hstack(&b).is_err());
+    }
+
+    #[test]
+    fn vstack_same_schema() {
+        let a = sample();
+        let b = sample();
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.n_rows(), 6);
+        let c = Table::new("c", vec![Column::from_i64("id", vec![1])]).unwrap();
+        assert!(a.vstack(&c).is_err());
+    }
+
+    #[test]
+    fn add_drop_column() {
+        let mut t = sample();
+        t.add_column(Column::from_bool("flag", vec![true, false, true])).unwrap();
+        assert_eq!(t.n_cols(), 4);
+        assert!(t.add_column(Column::from_bool("flag", vec![true, false, true])).is_err());
+        assert!(t.add_column(Column::from_bool("short", vec![true])).is_err());
+        let c = t.drop_column("flag").unwrap();
+        assert_eq!(c.name(), "flag");
+        assert!(t.drop_column("flag").is_err());
+    }
+
+    #[test]
+    fn numeric_and_string_names() {
+        let t = sample();
+        assert_eq!(t.numeric_column_names(), vec!["id", "x"]);
+        assert_eq!(t.string_column_names(), vec!["cat"]);
+    }
+
+    #[test]
+    fn row_view() {
+        let t = sample();
+        let r = t.row(1).unwrap();
+        assert_eq!(r, vec![Value::Int(2), Value::Float(1.5), Value::Str("b".into())]);
+        assert!(t.row(10).is_err());
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let t = sample();
+        let p = t.select(&["cat", "id"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["cat", "id"]);
+        assert!(t.select(&["missing"]).is_err());
+    }
+}

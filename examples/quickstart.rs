@@ -1,0 +1,84 @@
+//! Quickstart: augment a tiny hand-written base table from a two-table
+//! repository and inspect what ARDA selected.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use arda::prelude::*;
+
+fn main() {
+    // The user's base table: daily ride counts per city, with the target
+    // column `rides` to predict. The base features alone are weak.
+    let base = Table::new(
+        "rides",
+        vec![
+            Column::from_str(
+                "city",
+                (0..60).map(|i| ["boston", "nyc", "chicago"][i % 3]).collect(),
+            ),
+            Column::from_timestamps("day", (0..60).map(|i| (i as i64 / 3) * 86_400).collect()),
+            Column::from_f64(
+                "rides",
+                (0..60)
+                    .map(|i| {
+                        let day = (i / 3) as f64;
+                        let city_effect = (i % 3) as f64 * 5.0;
+                        // Signal actually comes from weather (rain) below.
+                        100.0 + city_effect + 20.0 * ((day * 0.7).sin().max(0.0))
+                    })
+                    .collect(),
+            ),
+        ],
+    )
+    .unwrap();
+
+    // Repository: one genuinely useful table (weather, joinable on day) and
+    // one decoy with an unrelated key domain.
+    let weather = Table::new(
+        "weather",
+        vec![
+            Column::from_timestamps("day", (0..20).map(|d| d * 86_400).collect()),
+            Column::from_f64(
+                "rain",
+                (0..20).map(|d| ((d as f64) * 0.7).sin().max(0.0)).collect(),
+            ),
+            Column::from_f64("wind", (0..20).map(|d| (d % 7) as f64).collect()),
+        ],
+    )
+    .unwrap();
+    let decoy = Table::new(
+        "lottery",
+        vec![
+            Column::from_i64("ticket", (0..30).collect()),
+            Column::from_f64("jackpot", (0..30).map(|i| (i * i) as f64).collect()),
+        ],
+    )
+    .unwrap();
+    let repo = Repository::from_tables(vec![weather, decoy]);
+
+    // Discover candidate joins (the Aurum/Auctus stand-in).
+    let candidates = discover_joins(&base, &repo, &DiscoveryConfig::default()).unwrap();
+    println!("discovered {} candidate join(s):", candidates.len());
+    for c in &candidates {
+        println!(
+            "  {} . {} ≈ {} . {}  [{:?}, score {:.2}]",
+            "rides", c.base_key, c.table_name, c.foreign_key, c.kind, c.score
+        );
+    }
+
+    // Run the full ARDA pipeline with RIFS feature selection.
+    let config = ArdaConfig {
+        selector: SelectorKind::Rifs(RifsConfig { repeats: 5, ..Default::default() }),
+        ..Default::default()
+    };
+    let report = Arda::new(config).augment(&base, &repo, &candidates, "rides").unwrap();
+
+    println!("\nbase-table score (R²):      {:+.3}", report.base_score);
+    println!("augmented score (R²):       {:+.3}", report.augmented_score);
+    println!("improvement:                {:+.1}%", report.improvement_pct());
+    println!("joins executed:             {}", report.joins_executed);
+    println!("selected foreign columns:");
+    for s in &report.selected {
+        println!("  {} (from {})", s.column, s.table);
+    }
+    println!("\naugmented table preview:\n{}", report.augmented.head(5));
+}

@@ -1,0 +1,164 @@
+//! `arda-cli` — run the ARDA augmentation pipeline on CSV files.
+//!
+//! ```text
+//! arda-cli --base base.csv --target <column> --repo dir_of_csvs/ \
+//!          [--out augmented.csv] [--selector rifs|rf|ftest|mi|all] \
+//!          [--plan budget|table|full] [--tr <tau>] [--seed <n>]
+//! ```
+//!
+//! Reads the base table and every `*.csv` in the repository directory,
+//! discovers candidate joins, runs the pipeline and writes the augmented
+//! table (base coreset + selected foreign columns) as CSV.
+
+use arda::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    base: PathBuf,
+    target: String,
+    repo: PathBuf,
+    out: Option<PathBuf>,
+    selector: String,
+    plan: String,
+    tr: Option<f64>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        base: PathBuf::new(),
+        target: String::new(),
+        repo: PathBuf::new(),
+        out: None,
+        selector: "rifs".into(),
+        plan: "budget".into(),
+        tr: None,
+        seed: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--base" => args.base = PathBuf::from(value("--base")?),
+            "--target" => args.target = value("--target")?,
+            "--repo" => args.repo = PathBuf::from(value("--repo")?),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--selector" => args.selector = value("--selector")?,
+            "--plan" => args.plan = value("--plan")?,
+            "--tr" => {
+                args.tr = Some(
+                    value("--tr")?
+                        .parse()
+                        .map_err(|e| format!("--tr must be a number: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed must be an integer: {e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.base.as_os_str().is_empty() || args.target.is_empty() || args.repo.as_os_str().is_empty()
+    {
+        return Err(format!("--base, --target and --repo are required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: arda-cli --base base.csv --target <column> --repo <dir> \
+[--out augmented.csv] [--selector rifs|rf|ftest|mi|all] [--plan budget|table|full] \
+[--tr <tau>] [--seed <n>]";
+
+fn selector_from(name: &str) -> Result<SelectorKind, String> {
+    Ok(match name {
+        "rifs" => SelectorKind::Rifs(RifsConfig::default()),
+        "rf" => SelectorKind::Ranking(RankingMethod::RandomForest),
+        "ftest" => SelectorKind::Ranking(RankingMethod::FTest),
+        "mi" => SelectorKind::Ranking(RankingMethod::MutualInfo),
+        "all" => SelectorKind::AllFeatures,
+        other => return Err(format!("unknown selector {other} (rifs|rf|ftest|mi|all)")),
+    })
+}
+
+fn plan_from(name: &str) -> Result<JoinPlan, String> {
+    Ok(match name {
+        "budget" => JoinPlan::Budget { budget: None },
+        "table" => JoinPlan::Table,
+        "full" => JoinPlan::FullMaterialization,
+        other => return Err(format!("unknown plan {other} (budget|table|full)")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let base = arda::table::read_csv(&args.base).map_err(|e| e.to_string())?;
+    base.column(&args.target)
+        .map_err(|_| format!("target column `{}` not found in base table", args.target))?;
+
+    let mut tables = Vec::new();
+    let entries = std::fs::read_dir(&args.repo)
+        .map_err(|e| format!("cannot read repo dir {}: {e}", args.repo.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+            tables.push(arda::table::read_csv(&path).map_err(|e| e.to_string())?);
+        }
+    }
+    if tables.is_empty() {
+        return Err(format!("no .csv files found in {}", args.repo.display()));
+    }
+    eprintln!("loaded base ({} rows) + {} repository tables", base.n_rows(), tables.len());
+
+    let repo = Repository::from_tables(tables);
+    let config = ArdaConfig {
+        selector: selector_from(&args.selector)?,
+        join_plan: plan_from(&args.plan)?,
+        tr_threshold: args.tr,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let report = Arda::new(config)
+        .run(&base, &repo, &args.target)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "base score {:.4} → augmented {:.4} ({:+.1}%), {} joins, {:.1}s",
+        report.base_score,
+        report.augmented_score,
+        report.improvement_pct(),
+        report.joins_executed,
+        report.seconds
+    );
+    for s in &report.selected {
+        eprintln!("  selected {} (from {})", s.column, s.table);
+    }
+
+    match args.out {
+        Some(path) => {
+            let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+            arda::table::write_csv(&report.augmented, file).map_err(|e| e.to_string())?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => {
+            arda::table::write_csv(&report.augmented, std::io::stdout().lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

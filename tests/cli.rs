@@ -1,0 +1,87 @@
+//! End-to-end test of the `arda-cli` binary: CSV repository in, augmented
+//! CSV out.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write(path: &PathBuf, content: &str) {
+    std::fs::write(path, content).unwrap();
+}
+
+#[test]
+fn cli_augments_csv_repository() {
+    let dir = std::env::temp_dir().join(format!("arda_cli_test_{}", std::process::id()));
+    let repo = dir.join("repo");
+    std::fs::create_dir_all(&repo).unwrap();
+
+    // Base: y depends on `boost` from the repository table.
+    let mut base_csv = String::from("key,y\n");
+    let mut ext_csv = String::from("key,boost\n");
+    for i in 0..60 {
+        let boost = (i * 7 % 13) as f64;
+        base_csv.push_str(&format!("{i},{}\n", 2.0 * boost + 1.0));
+        ext_csv.push_str(&format!("{i},{boost}\n"));
+    }
+    write(&dir.join("base.csv"), &base_csv);
+    write(&repo.join("ext.csv"), &ext_csv);
+
+    let out = dir.join("augmented.csv");
+    let status = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
+        .args([
+            "--base",
+            dir.join("base.csv").to_str().unwrap(),
+            "--target",
+            "y",
+            "--repo",
+            repo.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--selector",
+            "rf",
+        ])
+        .status()
+        .expect("run arda-cli");
+    assert!(status.success());
+
+    let augmented = arda::table::read_csv(&out).unwrap();
+    assert_eq!(augmented.n_rows(), 60);
+    assert!(augmented.column("y").is_ok());
+    assert!(augmented.column("boost").is_ok(), "signal column joined and selected");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_reports_usage_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
+        .args(["--base", "missing.csv"])
+        .output()
+        .expect("run arda-cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("required") || stderr.contains("usage"), "stderr: {stderr}");
+}
+
+#[test]
+fn cli_rejects_unknown_selector() {
+    let dir = std::env::temp_dir().join(format!("arda_cli_sel_{}", std::process::id()));
+    let repo = dir.join("repo");
+    std::fs::create_dir_all(&repo).unwrap();
+    write(&dir.join("base.csv"), "k,y\n1,2.0\n2,3.0\n");
+    write(&repo.join("t.csv"), "k,v\n1,5\n2,6\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
+        .args([
+            "--base",
+            dir.join("base.csv").to_str().unwrap(),
+            "--target",
+            "y",
+            "--repo",
+            repo.to_str().unwrap(),
+            "--selector",
+            "bogus",
+        ])
+        .output()
+        .expect("run arda-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown selector"));
+    std::fs::remove_dir_all(&dir).ok();
+}
