@@ -1,8 +1,14 @@
-//! Criterion micro-benchmarks of the performance-critical primitives:
-//! hard/soft join throughput, group-by pre-aggregation, OSNAP sketching,
-//! the ℓ2,1 IRLS solver, random-forest fitting and RIFS fractions.
+//! Micro-benchmarks of the performance-critical primitives: hard/soft join
+//! throughput, group-by pre-aggregation, OSNAP sketching, the ℓ2,1 IRLS
+//! solver, random-forest fitting and RIFS fractions.
+//!
+//! Runs under `cargo bench -p arda-bench` with the in-repo timing harness
+//! (`harness = false`; the build is offline, so no criterion). For the
+//! thread-count sweep that records the perf trajectory, see the
+//! `bench_pr1` binary.
 
-use arda_bench::bench_rifs;
+use arda_bench::timing::{print_measurements, time_op, Measurement};
+use arda_bench::{bench_rifs, Scale};
 use arda_coreset::sketch_xy;
 use arda_join::{execute_join, JoinSpec, SoftMethod};
 use arda_linalg::{stats::standardize_columns, Matrix};
@@ -11,10 +17,11 @@ use arda_select::rifs_fractions;
 use arda_select::sparse_regression::{l21_solve, target_matrix, L21Config};
 use arda_synth::{taxi, ScenarioConfig};
 use arda_table::{Column, GroupBy, Table};
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+
+const WINDOW_SECS: f64 = 0.3;
 
 fn tables(n_base: usize, n_foreign: usize) -> (Table, Table) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -38,22 +45,18 @@ fn tables(n_base: usize, n_foreign: usize) -> (Table, Table) {
     (base, foreign)
 }
 
-fn bench_joins(c: &mut Criterion) {
+fn bench_joins(out: &mut Vec<Measurement>) {
     let (base, foreign) = tables(2_000, 500);
-    c.bench_function("hard_join_2k_x_500", |b| {
-        b.iter(|| {
-            black_box(
-                execute_join(&base, &foreign, &JoinSpec::hard("k", "k"), 0).unwrap(),
-            )
-        })
-    });
-    c.bench_function("soft_2way_join_2k_x_500", |b| {
-        let spec = JoinSpec::soft("k", "k", SoftMethod::TwoWayNearest);
-        b.iter(|| black_box(execute_join(&base, &foreign, &spec, 0).unwrap()))
-    });
+    out.push(time_op("hard_join_2k_x_500", WINDOW_SECS, || {
+        black_box(execute_join(&base, &foreign, &JoinSpec::hard("k", "k"), 0).unwrap());
+    }));
+    let spec = JoinSpec::soft("k", "k", SoftMethod::TwoWayNearest);
+    out.push(time_op("soft_2way_join_2k_x_500", WINDOW_SECS, || {
+        black_box(execute_join(&base, &foreign, &spec, 0).unwrap());
+    }));
 }
 
-fn bench_groupby(c: &mut Criterion) {
+fn bench_groupby(out: &mut Vec<Measurement>) {
     let mut rng = StdRng::seed_from_u64(1);
     let t = Table::new(
         "t",
@@ -63,14 +66,21 @@ fn bench_groupby(c: &mut Criterion) {
         ],
     )
     .unwrap();
-    c.bench_function("groupby_aggregate_5k_rows_200_groups", |b| {
-        b.iter(|| {
-            black_box(GroupBy::new(&t, &["k"]).unwrap().aggregate_default().unwrap())
-        })
-    });
+    out.push(time_op(
+        "groupby_aggregate_5k_rows_200_groups",
+        WINDOW_SECS,
+        || {
+            black_box(
+                GroupBy::new(&t, &["k"])
+                    .unwrap()
+                    .aggregate_default()
+                    .unwrap(),
+            );
+        },
+    ));
 }
 
-fn bench_sketch(c: &mut Criterion) {
+fn bench_sketch(out: &mut Vec<Measurement>) {
     let mut rng = StdRng::seed_from_u64(2);
     let x = Matrix::from_vec(
         2_000,
@@ -79,12 +89,12 @@ fn bench_sketch(c: &mut Criterion) {
     )
     .unwrap();
     let y: Vec<f64> = (0..2_000).map(|_| rng.gen()).collect();
-    c.bench_function("osnap_sketch_2000x50_to_200", |b| {
-        b.iter(|| black_box(sketch_xy(&x, &y, false, 200, 0)))
-    });
+    out.push(time_op("osnap_sketch_2000x50_to_200", WINDOW_SECS, || {
+        black_box(sketch_xy(&x, &y, false, 200, 0));
+    }));
 }
 
-fn bench_l21(c: &mut Criterion) {
+fn bench_l21(out: &mut Vec<Measurement>) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut x = Matrix::from_vec(
         400,
@@ -95,42 +105,62 @@ fn bench_l21(c: &mut Criterion) {
     standardize_columns(&mut x);
     let y: Vec<f64> = (0..400).map(|i| x.get(i, 0) * 3.0 - x.get(i, 1)).collect();
     let ym = target_matrix(&y, Task::Regression);
-    let cfg = L21Config { max_iter: 10, ..Default::default() };
-    c.bench_function("l21_irls_400x60_10iter", |b| {
-        b.iter(|| black_box(l21_solve(&x, &ym, &cfg).unwrap()))
-    });
+    let cfg = L21Config {
+        max_iter: 10,
+        ..Default::default()
+    };
+    out.push(time_op("l21_irls_400x60_10iter", WINDOW_SECS, || {
+        black_box(l21_solve(&x, &ym, &cfg).unwrap());
+    }));
 }
 
-fn bench_forest(c: &mut Criterion) {
+fn bench_forest(out: &mut Vec<Measurement>) {
     let mut rng = StdRng::seed_from_u64(4);
     let rows: Vec<Vec<f64>> = (0..500)
         .map(|i| {
             let cls = (i % 2) as f64;
             (0..20)
-                .map(|f| if f == 0 { cls * 2.0 + rng.gen::<f64>() } else { rng.gen() })
+                .map(|f| {
+                    if f == 0 {
+                        cls * 2.0 + rng.gen::<f64>()
+                    } else {
+                        rng.gen()
+                    }
+                })
                 .collect()
         })
         .collect();
     let x = Matrix::from_rows(&rows).unwrap();
     let y: Vec<f64> = (0..500).map(|i| (i % 2) as f64).collect();
-    let cfg = ForestConfig { n_trees: 32, max_depth: 10, ..Default::default() };
-    c.bench_function("random_forest_fit_500x20_32trees", |b| {
-        b.iter(|| {
+    let cfg = ForestConfig {
+        n_trees: 32,
+        max_depth: 10,
+        ..Default::default()
+    };
+    out.push(time_op(
+        "random_forest_fit_500x20_32trees",
+        WINDOW_SECS,
+        || {
             black_box(
-                RandomForest::fit_xy(&x, &y, Task::Classification { n_classes: 2 }, &cfg)
-                    .unwrap(),
-            )
-        })
-    });
+                RandomForest::fit_xy(&x, &y, Task::Classification { n_classes: 2 }, &cfg).unwrap(),
+            );
+        },
+    ));
 }
 
-fn bench_rifs_fractions(c: &mut Criterion) {
+fn bench_rifs_fractions(out: &mut Vec<Measurement>) {
     let mut rng = StdRng::seed_from_u64(5);
     let rows: Vec<Vec<f64>> = (0..200)
         .map(|i| {
             let cls = (i % 2) as f64;
             (0..15)
-                .map(|f| if f < 2 { cls * 2.0 + rng.gen::<f64>() } else { rng.gen() })
+                .map(|f| {
+                    if f < 2 {
+                        cls * 2.0 + rng.gen::<f64>()
+                    } else {
+                        rng.gen()
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -141,37 +171,48 @@ fn bench_rifs_fractions(c: &mut Criterion) {
         Task::Classification { n_classes: 2 },
     )
     .unwrap();
-    let mut cfg = bench_rifs(arda_bench::Scale::Quick);
+    let mut cfg = bench_rifs(Scale::Quick);
     cfg.repeats = 3;
-    c.bench_function("rifs_fractions_200x15_3rep", |b| {
-        b.iter(|| black_box(rifs_fractions(&ds, &cfg, 0).unwrap()))
-    });
+    out.push(time_op("rifs_fractions_200x15_3rep", WINDOW_SECS, || {
+        black_box(rifs_fractions(&ds, &cfg, 0).unwrap());
+    }));
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let sc = taxi(&ScenarioConfig { n_rows: 120, n_decoys: 3, seed: 6 });
+fn bench_pipeline(out: &mut Vec<Measurement>) {
+    let sc = taxi(&ScenarioConfig {
+        n_rows: 120,
+        n_decoys: 3,
+        seed: 6,
+    });
     let repo = arda_discovery::Repository::from_tables(sc.repository.clone());
     let config = arda_core::ArdaConfig {
-        selector: arda_select::SelectorKind::Ranking(
-            arda_select::RankingMethod::RandomForest,
-        ),
+        selector: arda_select::SelectorKind::Ranking(arda_select::RankingMethod::RandomForest),
         ..Default::default()
     };
-    c.bench_function("pipeline_taxi_120rows_5tables_rf_selector", |b| {
-        b.iter(|| {
+    out.push(time_op(
+        "pipeline_taxi_120rows_5tables_rf_selector",
+        WINDOW_SECS,
+        || {
             black_box(
                 arda_core::Arda::new(config.clone())
                     .run(&sc.base, &repo, &sc.target)
                     .unwrap(),
-            )
-        })
-    });
+            );
+        },
+    ));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_joins, bench_groupby, bench_sketch, bench_l21, bench_forest,
-              bench_rifs_fractions, bench_pipeline
+fn main() {
+    let mut results = Vec::new();
+    bench_joins(&mut results);
+    bench_groupby(&mut results);
+    bench_sketch(&mut results);
+    bench_l21(&mut results);
+    bench_forest(&mut results);
+    bench_rifs_fractions(&mut results);
+    bench_pipeline(&mut results);
+    print_measurements(
+        &format!("micro benchmarks ({} threads)", arda_par::default_threads()),
+        &results,
+    );
 }
-criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! Perf-trajectory benchmark for PR 1 (parallel execution engine +
+//! cache-blocked linalg): times the five headline hot paths at worker
+//! counts {1, 2, 4, max} and writes `BENCH_PR1.json` so future PRs can
+//! compare against a recorded baseline.
+//!
+//! ```text
+//! cargo run --release -p arda-bench --bin bench_pr1
+//! ```
+//!
+//! The thread sweep drives `arda_par::set_default_threads`, which every
+//! parallel hot path reads; outputs are identical at every count (see
+//! `tests/par_determinism.rs`), only the wall-clock changes. On a
+//! single-core host the sweep degenerates gracefully — `speedup` is then
+//! bounded by `available_parallelism`, which the JSON records.
+
+use arda_bench::timing::time_op;
+use arda_core::{Arda, ArdaConfig};
+use arda_discovery::Repository;
+use arda_join::{execute_join, JoinSpec, SoftMethod};
+use arda_linalg::Matrix;
+use arda_ml::{ForestConfig, RandomForest, Task};
+use arda_select::{RankingMethod, SelectorKind};
+use arda_synth::{taxi, ScenarioConfig};
+use arda_table::{Column, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const WINDOW_SECS: f64 = 0.5;
+
+struct Sweep {
+    name: &'static str,
+    /// (threads, ops/sec) per swept worker count.
+    by_threads: Vec<(usize, f64)>,
+}
+
+impl Sweep {
+    fn speedup(&self) -> f64 {
+        let one = self
+            .by_threads
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map_or(0.0, |(_, o)| *o);
+        let best = self
+            .by_threads
+            .iter()
+            .map(|(_, o)| *o)
+            .fold(0.0f64, f64::max);
+        if one > 0.0 {
+            best / one
+        } else {
+            0.0
+        }
+    }
+}
+
+fn sweep(name: &'static str, counts: &[usize], mut f: impl FnMut()) -> Sweep {
+    let mut by_threads = Vec::new();
+    for &t in counts {
+        arda_par::set_default_threads(t);
+        let m = time_op(name, WINDOW_SECS, &mut f);
+        println!("  {name} @ {t} threads: {:.2} ops/sec", m.ops_per_sec);
+        by_threads.push((t, m.ops_per_sec));
+    }
+    Sweep { name, by_threads }
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, avail];
+    counts.sort_unstable();
+    counts.dedup();
+    println!("bench_pr1: sweeping worker counts {counts:?} (available: {avail})");
+    let mut sweeps = Vec::new();
+
+    // 1. matmul 512×512 · 512×512 (cache-blocked, row-band parallel).
+    {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::from_vec(
+            512,
+            512,
+            (0..512 * 512).map(|_| rng.gen::<f64>() - 0.5).collect(),
+        )
+        .unwrap();
+        let b = Matrix::from_vec(
+            512,
+            512,
+            (0..512 * 512).map(|_| rng.gen::<f64>() - 0.5).collect(),
+        )
+        .unwrap();
+        sweeps.push(sweep("matmul_512x512", &counts, || {
+            black_box(a.matmul(&b).unwrap());
+        }));
+    }
+
+    // 2. gram on 10k×64.
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Matrix::from_vec(
+            10_000,
+            64,
+            (0..10_000 * 64).map(|_| rng.gen::<f64>() - 0.5).collect(),
+        )
+        .unwrap();
+        sweeps.push(sweep("gram_10000x64", &counts, || {
+            black_box(x.gram());
+        }));
+    }
+
+    // 3. random-forest fit, 2000×20, 48 trees.
+    {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<f64>> = (0..2_000)
+            .map(|i| {
+                let cls = (i % 2) as f64;
+                (0..20)
+                    .map(|f| {
+                        if f == 0 {
+                            cls * 2.0 + rng.gen::<f64>()
+                        } else {
+                            rng.gen()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..2_000).map(|i| (i % 2) as f64).collect();
+        let cfg = ForestConfig {
+            n_trees: 48,
+            max_depth: 10,
+            ..Default::default()
+        };
+        sweeps.push(sweep("forest_fit_2000x20_48trees", &counts, || {
+            black_box(
+                RandomForest::fit_xy(&x, &y, Task::Classification { n_classes: 2 }, &cfg).unwrap(),
+            );
+        }));
+    }
+
+    // 4. two-way soft join, 100k base rows × 2k foreign.
+    {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = Table::new(
+            "base",
+            vec![Column::from_i64(
+                "k",
+                (0..100_000)
+                    .map(|_| rng.gen_range(0i64..1_000_000))
+                    .collect(),
+            )],
+        )
+        .unwrap();
+        let foreign = Table::new(
+            "foreign",
+            vec![
+                Column::from_i64(
+                    "k",
+                    (0..2_000).map(|_| rng.gen_range(0i64..1_000_000)).collect(),
+                ),
+                Column::from_f64("a", (0..2_000).map(|_| rng.gen()).collect()),
+                Column::from_f64("b", (0..2_000).map(|_| rng.gen()).collect()),
+            ],
+        )
+        .unwrap();
+        let spec = JoinSpec::soft("k", "k", SoftMethod::TwoWayNearest);
+        sweeps.push(sweep("soft_2way_join_100k_x_2k", &counts, || {
+            black_box(execute_join(&base, &foreign, &spec, 0).unwrap());
+        }));
+    }
+
+    // 5. end-to-end pipeline (taxi scenario, RF ranking selector).
+    {
+        let sc = taxi(&ScenarioConfig {
+            n_rows: 160,
+            n_decoys: 3,
+            seed: 4,
+        });
+        let repo = Repository::from_tables(sc.repository.clone());
+        let config = ArdaConfig {
+            selector: SelectorKind::Ranking(RankingMethod::RandomForest),
+            ..Default::default()
+        };
+        sweeps.push(sweep("pipeline_taxi_160rows", &counts, || {
+            black_box(
+                Arda::new(config.clone())
+                    .run(&sc.base, &repo, &sc.target)
+                    .unwrap(),
+            );
+        }));
+    }
+
+    // ---- JSON report -----------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"pr\": 1,\n");
+    json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    json.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        json.push_str("      \"ops_per_sec\": {");
+        let cells: Vec<String> = s
+            .by_threads
+            .iter()
+            .map(|(t, o)| format!("\"{t}\": {o:.4}"))
+            .collect();
+        json.push_str(&cells.join(", "));
+        json.push_str("},\n");
+        json.push_str(&format!(
+            "      \"speedup_best_vs_1\": {:.4}\n",
+            s.speedup()
+        ));
+        json.push_str(if i + 1 < sweeps.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("\nwrote BENCH_PR1.json");
+    for s in &sweeps {
+        println!(
+            "  {:32} best-vs-1-thread speedup: {:.2}x",
+            s.name,
+            s.speedup()
+        );
+    }
+}

@@ -20,7 +20,10 @@ fn main() {
         // ARDA (RIFS, budget join).
         let arda = run_pipeline(
             &scenario,
-            ArdaConfig { selector: SelectorKind::Rifs(rifs.clone()), ..Default::default() },
+            ArdaConfig {
+                selector: SelectorKind::Rifs(rifs.clone()),
+                ..Default::default()
+            },
         );
         let base_score = arda.base_score;
         let pct = |s: f64| {

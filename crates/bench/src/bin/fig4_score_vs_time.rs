@@ -12,9 +12,13 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for scenario in real_world_scenarios(scale) {
-        let base_ds =
-            featurize(&scenario.base, &scenario.target, false, &FeaturizeOptions::default())
-                .unwrap();
+        let base_ds = featurize(
+            &scenario.base,
+            &scenario.target,
+            false,
+            &FeaturizeOptions::default(),
+        )
+        .unwrap();
         // On the 2-core quick profile the O(d)-refit wrappers only run on
         // one dataset (taxi); full scale includes them everywhere. The
         // paper's Fig. 4 point — forward selection competitive but an order
@@ -23,7 +27,11 @@ fn main() {
         for (name, selector) in selector_grid(base_ds.task, scale, slow_ok) {
             let report = run_pipeline(
                 &scenario,
-                ArdaConfig { selector, seed: 13, ..Default::default() },
+                ArdaConfig {
+                    selector,
+                    seed: 13,
+                    ..Default::default()
+                },
             );
             rows.push(vec![
                 scenario.name.clone(),

@@ -16,8 +16,14 @@ use arda_table::Table;
 fn strategies() -> Vec<(&'static str, JoinKind)> {
     vec![
         ("hard", JoinKind::Hard),
-        ("nearest", JoinKind::SoftTimeResampled(SoftMethod::Nearest { tolerance: None })),
-        ("2-way nearest", JoinKind::SoftTimeResampled(SoftMethod::TwoWayNearest)),
+        (
+            "nearest",
+            JoinKind::SoftTimeResampled(SoftMethod::Nearest { tolerance: None }),
+        ),
+        (
+            "2-way nearest",
+            JoinKind::SoftTimeResampled(SoftMethod::TwoWayNearest),
+        ),
         ("time-resampled", JoinKind::HardTimeResampled),
     ]
 }
@@ -38,8 +44,13 @@ fn run_dataset(
         };
         let joined = execute_join(&scenario.base, weather, &spec, 61).unwrap();
         let (imputed, _) = impute(&joined, 61).unwrap();
-        let ds =
-            featurize(&imputed, &scenario.target, false, &FeaturizeOptions::default()).unwrap();
+        let ds = featurize(
+            &imputed,
+            &scenario.target,
+            false,
+            &FeaturizeOptions::default(),
+        )
+        .unwrap();
         for (sel_name, selector) in selector_grid(ds.task, scale, false) {
             let ctx = SelectionContext::standard(&ds, 61);
             let sel = run_selector(&ds, &selector, &ctx).unwrap();
@@ -58,10 +69,18 @@ fn main() {
     let scale = bench_scale();
     let mut rows: Vec<Vec<String>> = Vec::new();
 
-    let p = pickup(&ScenarioConfig { n_rows: 360, n_decoys: 0, seed: 61 });
+    let p = pickup(&ScenarioConfig {
+        n_rows: 360,
+        n_decoys: 0,
+        seed: 61,
+    });
     run_dataset(&p, "weather_minute", ("time", "time"), &mut rows, scale);
 
-    let t = taxi(&ScenarioConfig { n_rows: 360, n_decoys: 0, seed: 62 });
+    let t = taxi(&ScenarioConfig {
+        n_rows: 360,
+        n_decoys: 0,
+        seed: 62,
+    });
     run_dataset(&t, "weather", ("date", "date"), &mut rows, scale);
 
     print_table(

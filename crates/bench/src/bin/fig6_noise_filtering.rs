@@ -15,8 +15,13 @@ fn main() {
 
     for (name, micro) in [("kraken", kraken(71)), ("digits", digits(72))] {
         let noisy = append_noise_columns(&micro, noise_factor, 71);
-        let ds = featurize(&noisy.table, &noisy.target, true, &FeaturizeOptions::default())
-            .unwrap();
+        let ds = featurize(
+            &noisy.table,
+            &noisy.target,
+            true,
+            &FeaturizeOptions::default(),
+        )
+        .unwrap();
         // Keep runtime sane at quick scale: subsample rows.
         let ds = match scale {
             Scale::Quick => {
@@ -55,7 +60,14 @@ fn main() {
 
     print_table(
         "Figure 6 — features selected: original vs planted synthetic noise",
-        &["dataset", "method", "#selected", "original kept", "noise kept", "orig frac"],
+        &[
+            "dataset",
+            "method",
+            "#selected",
+            "original kept",
+            "noise kept",
+            "orig frac",
+        ],
         &rows,
     );
 }

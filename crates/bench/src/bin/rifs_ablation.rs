@@ -5,16 +5,20 @@
 
 use arda_bench::*;
 use arda_ml::{featurize, FeaturizeOptions};
-use arda_select::{
-    rifs_select, InjectionDistribution, RifsConfig, SelectionContext,
-};
+use arda_select::{rifs_select, InjectionDistribution, RifsConfig, SelectionContext};
 use arda_synth::{append_noise_columns, kraken};
 
 fn main() {
     let scale = bench_scale();
     let micro = kraken(99);
     let noisy = append_noise_columns(&micro, 6, 99);
-    let ds = featurize(&noisy.table, &noisy.target, true, &FeaturizeOptions::default()).unwrap();
+    let ds = featurize(
+        &noisy.table,
+        &noisy.target,
+        true,
+        &FeaturizeOptions::default(),
+    )
+    .unwrap();
     let ds = {
         let idx: Vec<usize> = (0..ds.n_samples().min(400)).collect();
         ds.select_rows(&idx).unwrap()
@@ -42,32 +46,89 @@ fn main() {
     };
 
     // Ensemble weight ν.
-    run("nu=0.5 (RF+SR, default)", RifsConfig { nu: 0.5, ..base_cfg.clone() });
-    run("nu=1.0 (RF only)", RifsConfig { nu: 1.0, ..base_cfg.clone() });
-    run("nu=0.0 (SR only)", RifsConfig { nu: 0.0, ..base_cfg.clone() });
+    run(
+        "nu=0.5 (RF+SR, default)",
+        RifsConfig {
+            nu: 0.5,
+            ..base_cfg.clone()
+        },
+    );
+    run(
+        "nu=1.0 (RF only)",
+        RifsConfig {
+            nu: 1.0,
+            ..base_cfg.clone()
+        },
+    );
+    run(
+        "nu=0.0 (SR only)",
+        RifsConfig {
+            nu: 0.0,
+            ..base_cfg.clone()
+        },
+    );
 
     // Injection distribution.
     run(
         "moment-matched (default)",
-        RifsConfig { distribution: InjectionDistribution::MomentMatched, ..base_cfg.clone() },
+        RifsConfig {
+            distribution: InjectionDistribution::MomentMatched,
+            ..base_cfg.clone()
+        },
     );
     run(
         "standard normal",
-        RifsConfig { distribution: InjectionDistribution::StandardNormal, ..base_cfg.clone() },
+        RifsConfig {
+            distribution: InjectionDistribution::StandardNormal,
+            ..base_cfg.clone()
+        },
     );
     run(
         "uniform(0,1)",
-        RifsConfig { distribution: InjectionDistribution::Uniform, ..base_cfg.clone() },
+        RifsConfig {
+            distribution: InjectionDistribution::Uniform,
+            ..base_cfg.clone()
+        },
     );
 
     // Injection fraction η.
-    run("eta=0.1", RifsConfig { eta: 0.1, ..base_cfg.clone() });
-    run("eta=0.2 (default)", RifsConfig { eta: 0.2, ..base_cfg.clone() });
-    run("eta=0.5", RifsConfig { eta: 0.5, ..base_cfg.clone() });
+    run(
+        "eta=0.1",
+        RifsConfig {
+            eta: 0.1,
+            ..base_cfg.clone()
+        },
+    );
+    run(
+        "eta=0.2 (default)",
+        RifsConfig {
+            eta: 0.2,
+            ..base_cfg.clone()
+        },
+    );
+    run(
+        "eta=0.5",
+        RifsConfig {
+            eta: 0.5,
+            ..base_cfg.clone()
+        },
+    );
 
     // Repeats k.
-    run("k=3", RifsConfig { repeats: 3, ..base_cfg.clone() });
-    run("k=10 (paper)", RifsConfig { repeats: 10, ..base_cfg });
+    run(
+        "k=3",
+        RifsConfig {
+            repeats: 3,
+            ..base_cfg.clone()
+        },
+    );
+    run(
+        "k=10 (paper)",
+        RifsConfig {
+            repeats: 10,
+            ..base_cfg
+        },
+    );
 
     print_table(
         "RIFS ablation — noisy Kraken (6x noise)",

@@ -13,9 +13,13 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for scenario in real_world_scenarios(scale) {
-        let base_ds =
-            featurize(&scenario.base, &scenario.target, false, &FeaturizeOptions::default())
-                .unwrap();
+        let base_ds = featurize(
+            &scenario.base,
+            &scenario.target,
+            false,
+            &FeaturizeOptions::default(),
+        )
+        .unwrap();
         let all: Vec<usize> = (0..base_ds.n_features()).collect();
         let (base_score, base_err) = evaluate_subset(&base_ds, &all, 11);
         rows.push(vec![
@@ -33,7 +37,11 @@ fn main() {
         for (name, selector) in selector_grid(base_ds.task, scale, slow_ok) {
             let report = run_pipeline(
                 &scenario,
-                ArdaConfig { selector, seed: 11, ..Default::default() },
+                ArdaConfig {
+                    selector,
+                    seed: 11,
+                    ..Default::default()
+                },
             );
             // Error of the default estimator on the augmented output.
             let aug_ds = featurize(

@@ -25,25 +25,43 @@ fn main() {
     };
 
     // Featurized classification datasets.
-    let school_sc = school(&ScenarioConfig { n_rows: 400, n_decoys: 8, seed: 21 }, false);
+    let school_sc = school(
+        &ScenarioConfig {
+            n_rows: 400,
+            n_decoys: 8,
+            seed: 21,
+        },
+        false,
+    );
     let school_ds = full_materialized_dataset(&school_sc, 21);
     let digits_md = {
         let d = digits(22);
         append_noise_columns(&d, 2, 22)
     };
-    let digits_ds =
-        featurize(&digits_md.table, &digits_md.target, true, &FeaturizeOptions::default())
-            .unwrap();
+    let digits_ds = featurize(
+        &digits_md.table,
+        &digits_md.target,
+        true,
+        &FeaturizeOptions::default(),
+    )
+    .unwrap();
     let kraken_md = {
         let k = kraken(23);
         append_noise_columns(&k, 2, 23)
     };
-    let kraken_ds =
-        featurize(&kraken_md.table, &kraken_md.target, true, &FeaturizeOptions::default())
-            .unwrap();
+    let kraken_ds = featurize(
+        &kraken_md.table,
+        &kraken_md.target,
+        true,
+        &FeaturizeOptions::default(),
+    )
+    .unwrap();
 
-    let datasets: Vec<(&str, &Dataset)> =
-        vec![("school (S)", &school_ds), ("digits", &digits_ds), ("kraken", &kraken_ds)];
+    let datasets: Vec<(&str, &Dataset)> = vec![
+        ("school (S)", &school_ds),
+        ("digits", &digits_ds),
+        ("kraken", &kraken_ds),
+    ];
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (name, ds) in datasets {

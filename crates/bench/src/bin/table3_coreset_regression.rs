@@ -21,7 +21,11 @@ fn main() {
         Scale::Quick => 200,
         Scale::Full => 400,
     };
-    let cfg = |seed| ScenarioConfig { n_rows: 380, n_decoys: 8, seed };
+    let cfg = |seed| ScenarioConfig {
+        n_rows: 380,
+        n_decoys: 8,
+        seed,
+    };
     let scenarios = vec![taxi(&cfg(41)), pickup(&cfg(42)), poverty(&cfg(43))];
 
     let mut rows: Vec<Vec<String>> = Vec::new();

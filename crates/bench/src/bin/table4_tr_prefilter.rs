@@ -14,7 +14,13 @@ fn main() {
     // 15, 15, 17 for taxi/pickup/poverty/school-S/school-L). Our scenarios
     // share key domains ≈ base rows, so smaller τ values bite; values are
     // tuned per dataset in the same spirit.
-    let taus = [("pickup", 3.0), ("poverty", 2.0), ("school_l", 2.0), ("school_s", 2.0), ("taxi", 4.0)];
+    let taus = [
+        ("pickup", 3.0),
+        ("poverty", 2.0),
+        ("school_l", 2.0),
+        ("school_s", 2.0),
+        ("taxi", 4.0),
+    ];
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for scenario in real_world_scenarios(scale) {
@@ -26,7 +32,11 @@ fn main() {
 
         let plain = run_pipeline(
             &scenario,
-            ArdaConfig { selector: SelectorKind::Rifs(rifs.clone()), seed: 81, ..Default::default() },
+            ArdaConfig {
+                selector: SelectorKind::Rifs(rifs.clone()),
+                seed: 81,
+                ..Default::default()
+            },
         );
         let filtered = run_pipeline(
             &scenario,
@@ -41,8 +51,7 @@ fn main() {
         let score_change = if plain.augmented_score.abs() < 1e-12 {
             0.0
         } else {
-            (filtered.augmented_score - plain.augmented_score) / plain.augmented_score.abs()
-                * 100.0
+            (filtered.augmented_score - plain.augmented_score) / plain.augmented_score.abs() * 100.0
         };
         let speedup = plain.seconds / filtered.seconds.max(1e-9);
         rows.push(vec![
@@ -56,7 +65,13 @@ fn main() {
 
     print_table(
         "Table 4 — Tuple-Ratio prefiltering before RIFS",
-        &["dataset", "score change", "speed-up", "candidates removed", "tau"],
+        &[
+            "dataset",
+            "score change",
+            "speed-up",
+            "candidates removed",
+            "tau",
+        ],
         &rows,
     );
 }

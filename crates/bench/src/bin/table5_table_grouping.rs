@@ -12,7 +12,11 @@ use arda_synth::{pickup, poverty, school, taxi, ScenarioConfig};
 
 fn main() {
     let scale = bench_scale();
-    let cfg = |seed| ScenarioConfig { n_rows: 300, n_decoys: 8, seed };
+    let cfg = |seed| ScenarioConfig {
+        n_rows: 300,
+        n_decoys: 8,
+        seed,
+    };
     let scenarios = vec![
         taxi(&cfg(91)),
         pickup(&cfg(92)),
@@ -22,8 +26,14 @@ fn main() {
     let selectors: Vec<(&str, SelectorKind)> = vec![
         ("RIFS", SelectorKind::Rifs(bench_rifs(scale))),
         ("forward selection", SelectorKind::ForwardSelection),
-        ("random forest", SelectorKind::Ranking(RankingMethod::RandomForest)),
-        ("sparse regression", SelectorKind::Ranking(RankingMethod::SparseRegression)),
+        (
+            "random forest",
+            SelectorKind::Ranking(RankingMethod::RandomForest),
+        ),
+        (
+            "sparse regression",
+            SelectorKind::Ranking(RankingMethod::SparseRegression),
+        ),
     ];
 
     let mut rows: Vec<Vec<String>> = Vec::new();

@@ -18,8 +18,13 @@ fn main() {
 
     for (name, micro) in [("kraken", kraken(95)), ("digits", digits(96))] {
         let noisy = append_noise_columns(&micro, factor, 95);
-        let ds = featurize(&noisy.table, &noisy.target, true, &FeaturizeOptions::default())
-            .unwrap();
+        let ds = featurize(
+            &noisy.table,
+            &noisy.target,
+            true,
+            &FeaturizeOptions::default(),
+        )
+        .unwrap();
         let ds = match scale {
             Scale::Quick => {
                 let idx: Vec<usize> = (0..ds.n_samples().min(500)).collect();

@@ -22,6 +22,8 @@
 //! absolute: the substrate is the in-repo simulator, not the authors'
 //! testbed (see EXPERIMENTS.md).
 
+pub mod timing;
+
 use arda_core::{Arda, ArdaConfig};
 use arda_discovery::{discover_joins, DiscoveryConfig, Repository};
 use arda_join::impute::impute;
@@ -61,11 +63,37 @@ pub fn real_world_scenarios(scale: Scale) -> Vec<Scenario> {
     };
     let _ = k;
     vec![
-        pickup(&ScenarioConfig { n_rows: rows, n_decoys: decoys(22), seed: 101 }),
-        poverty(&ScenarioConfig { n_rows: rows, n_decoys: decoys(37), seed: 102 }),
-        school(&ScenarioConfig { n_rows: rows, n_decoys: decoys(348), seed: 103 }, true),
-        school(&ScenarioConfig { n_rows: rows, n_decoys: decoys(14), seed: 104 }, false),
-        taxi(&ScenarioConfig { n_rows: rows, n_decoys: decoys(27), seed: 105 }),
+        pickup(&ScenarioConfig {
+            n_rows: rows,
+            n_decoys: decoys(22),
+            seed: 101,
+        }),
+        poverty(&ScenarioConfig {
+            n_rows: rows,
+            n_decoys: decoys(37),
+            seed: 102,
+        }),
+        school(
+            &ScenarioConfig {
+                n_rows: rows,
+                n_decoys: decoys(348),
+                seed: 103,
+            },
+            true,
+        ),
+        school(
+            &ScenarioConfig {
+                n_rows: rows,
+                n_decoys: decoys(14),
+                seed: 104,
+            },
+            false,
+        ),
+        taxi(&ScenarioConfig {
+            n_rows: rows,
+            n_decoys: decoys(27),
+            seed: 105,
+        }),
     ]
 }
 
@@ -76,23 +104,26 @@ pub fn bench_rifs(scale: Scale) -> RifsConfig {
         Scale::Quick => RifsConfig {
             repeats: 5,
             rf_trees: 16,
-            l21: arda_select::sparse_regression::L21Config { max_iter: 12, ..Default::default() },
+            l21: arda_select::sparse_regression::L21Config {
+                max_iter: 12,
+                ..Default::default()
+            },
             ..Default::default()
         },
         Scale::Full => RifsConfig {
             repeats: 10,
             rf_trees: 24,
-            l21: arda_select::sparse_regression::L21Config { max_iter: 20, ..Default::default() },
+            l21: arda_select::sparse_regression::L21Config {
+                max_iter: 20,
+                ..Default::default()
+            },
             ..Default::default()
         },
     }
 }
 
 /// Run the ARDA pipeline on a scenario and return the report.
-pub fn run_pipeline(
-    scenario: &Scenario,
-    config: ArdaConfig,
-) -> arda_core::AugmentationReport {
+pub fn run_pipeline(scenario: &Scenario, config: ArdaConfig) -> arda_core::AugmentationReport {
     let repo = Repository::from_tables(scenario.repository.clone());
     Arda::new(config)
         .run(&scenario.base, &repo, &scenario.target)
@@ -122,8 +153,13 @@ pub fn full_materialized_dataset(scenario: &Scenario, seed: u64) -> Dataset {
         joined = execute_join(&joined, foreign, &spec, seed).expect("join");
     }
     let (imputed, _) = impute(&joined, seed).expect("impute");
-    featurize(&imputed, &scenario.target, false, &FeaturizeOptions::default())
-        .expect("featurize")
+    featurize(
+        &imputed,
+        &scenario.target,
+        false,
+        &FeaturizeOptions::default(),
+    )
+    .expect("featurize")
 }
 
 /// Fit the paper's default estimator on a feature subset and return
@@ -136,7 +172,10 @@ pub fn evaluate_subset(data: &Dataset, selected: &[usize], seed: u64) -> (f64, f
     } else {
         arda_ml::train_test_split(data.n_samples(), 0.25, seed)
     };
-    let kind = ModelKind::RandomForest { n_trees: 48, max_depth: 12 };
+    let kind = ModelKind::RandomForest {
+        n_trees: 48,
+        max_depth: 12,
+    };
     let score = holdout_score(&sub, &kind, &train, &test, seed).expect("score");
     let tr = sub.select_rows(&train).expect("rows");
     let te = sub.select_rows(&test).expect("rows");
@@ -223,22 +262,38 @@ mod tests {
     fn scenarios_cover_all_five() {
         let s = real_world_scenarios(Scale::Quick);
         let names: Vec<&str> = s.iter().map(|x| x.name.as_str()).collect();
-        assert_eq!(names, vec!["pickup", "poverty", "school_l", "school_s", "taxi"]);
+        assert_eq!(
+            names,
+            vec!["pickup", "poverty", "school_l", "school_s", "taxi"]
+        );
     }
 
     #[test]
     fn full_materialization_produces_wide_dataset() {
-        let sc = taxi(&ScenarioConfig { n_rows: 60, n_decoys: 3, seed: 0 });
-        let base_ds =
-            featurize(&sc.base, &sc.target, false, &FeaturizeOptions::default()).unwrap();
+        let sc = taxi(&ScenarioConfig {
+            n_rows: 60,
+            n_decoys: 3,
+            seed: 0,
+        });
+        let base_ds = featurize(&sc.base, &sc.target, false, &FeaturizeOptions::default()).unwrap();
         let ds = full_materialized_dataset(&sc, 0);
-        assert!(ds.n_features() > base_ds.n_features(), "join added features");
+        assert!(
+            ds.n_features() > base_ds.n_features(),
+            "join added features"
+        );
         assert_eq!(ds.n_samples(), 60);
     }
 
     #[test]
     fn evaluate_subset_returns_score_and_error() {
-        let sc = school(&ScenarioConfig { n_rows: 120, n_decoys: 1, seed: 1 }, false);
+        let sc = school(
+            &ScenarioConfig {
+                n_rows: 120,
+                n_decoys: 1,
+                seed: 1,
+            },
+            false,
+        );
         let ds = full_materialized_dataset(&sc, 1);
         let all: Vec<usize> = (0..ds.n_features()).collect();
         let (score, err) = evaluate_subset(&ds, &all, 1);
@@ -248,7 +303,11 @@ mod tests {
 
     #[test]
     fn grid_respects_task() {
-        let cls = selector_grid(arda_ml::Task::Classification { n_classes: 2 }, Scale::Quick, true);
+        let cls = selector_grid(
+            arda_ml::Task::Classification { n_classes: 2 },
+            Scale::Quick,
+            true,
+        );
         assert!(cls.iter().any(|(n, _)| n == "linear svc"));
         assert!(!cls.iter().any(|(n, _)| n == "lasso"));
         let reg = selector_grid(arda_ml::Task::Regression, Scale::Quick, false);

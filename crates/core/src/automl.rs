@@ -30,9 +30,18 @@ fn model_zoo(classification: bool) -> Vec<ModelKind> {
     let mut zoo = vec![
         ModelKind::DecisionTree { max_depth: 6 },
         ModelKind::DecisionTree { max_depth: 12 },
-        ModelKind::RandomForest { n_trees: 16, max_depth: 8 },
-        ModelKind::RandomForest { n_trees: 64, max_depth: 12 },
-        ModelKind::RandomForest { n_trees: 128, max_depth: 16 },
+        ModelKind::RandomForest {
+            n_trees: 16,
+            max_depth: 8,
+        },
+        ModelKind::RandomForest {
+            n_trees: 64,
+            max_depth: 12,
+        },
+        ModelKind::RandomForest {
+            n_trees: 128,
+            max_depth: 16,
+        },
     ];
     if classification {
         zoo.extend([
@@ -70,16 +79,20 @@ pub fn automl_search(data: &Dataset, budget: Duration, seed: u64) -> Result<Auto
         }
         let score = holdout_score(data, &kind, &train, &holdout, seed)?;
         evaluated += 1;
-        if best.as_ref().map_or(true, |(s, _)| score > *s) {
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, kind));
         }
         if start.elapsed() >= budget {
             break;
         }
     }
-    let (best_score, best_model) =
-        best.expect("zoo is non-empty and first model always runs");
-    Ok(AutomlReport { best_score, best_model, evaluated, seconds: start.elapsed().as_secs_f64() })
+    let (best_score, best_model) = best.expect("zoo is non-empty and first model always runs");
+    Ok(AutomlReport {
+        best_score,
+        best_model,
+        evaluated,
+        seconds: start.elapsed().as_secs_f64(),
+    })
 }
 
 #[cfg(test)]

@@ -6,10 +6,14 @@ use crate::plan::{plan_batches, JoinPlan};
 use crate::{ArdaError, Result};
 use arda_coreset::{row_coreset, CoresetSpec};
 use arda_discovery::{discover_joins, CandidateJoin, DiscoveryConfig, KeyKind, Repository};
-use arda_join::{execute_join, impute::impute, stats::join_stats, JoinKind, JoinSpec, SoftMethod};
+use arda_join::{
+    execute_join_threads, impute::impute, stats::join_stats, JoinKind, JoinSpec, SoftMethod,
+};
 use arda_ml::model::holdout_score;
 use arda_ml::{featurize, Dataset, FeaturizeOptions, ModelKind};
-use arda_select::{run_selector, tuple_ratio_filter, SelectionContext, SelectorKind, TupleRatioDecision};
+use arda_select::{
+    run_selector, tuple_ratio_filter, SelectionContext, SelectorKind, TupleRatioDecision,
+};
 use arda_table::{DataType, Table};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -136,7 +140,8 @@ impl Arda {
         // ---- Coreset construction -------------------------------------
         let labels: Option<Vec<f64>> = {
             let tcol = base.column(target)?;
-            let is_cls = cfg.force_classification || !tcol.dtype().is_numeric()
+            let is_cls = cfg.force_classification
+                || !tcol.dtype().is_numeric()
                 || tcol.dtype() == DataType::Bool;
             if is_cls {
                 // Map labels to ids for stratification.
@@ -156,8 +161,11 @@ impl Arda {
         };
         let coreset_idx = row_coreset(base.n_rows(), labels.as_deref(), &cfg.coreset);
         let mut kept = base.take(&coreset_idx)?;
-        let base_columns: HashSet<String> =
-            kept.columns().iter().map(|c| c.name().to_string()).collect();
+        let base_columns: HashSet<String> = kept
+            .columns()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
 
         // ---- Tuple-Ratio prefilter (optional) --------------------------
         let mut active: Vec<CandidateJoin> = Vec::with_capacity(candidates.len());
@@ -170,8 +178,12 @@ impl Arda {
                 )));
             };
             if let Some(tau) = cfg.tr_threshold {
-                let stats =
-                    join_stats(&kept, foreign, &[c.base_key.as_str()], &[c.foreign_key.as_str()])?;
+                let stats = join_stats(
+                    &kept,
+                    foreign,
+                    &[c.base_key.as_str()],
+                    &[c.foreign_key.as_str()],
+                )?;
                 if tuple_ratio_filter(kept.n_rows(), stats.foreign_distinct, tau)
                     == TupleRatioDecision::Eliminate
                 {
@@ -192,18 +204,49 @@ impl Arda {
         let mut joins_executed = 0usize;
 
         for (batch_no, batch) in batches.iter().enumerate() {
-            let mut joined = kept.clone();
-            for cand in batch {
+            // Every candidate in a batch joins against the same base
+            // snapshot on a base-table key, so the joins are independent:
+            // execute them concurrently, each yielding only its new
+            // columns, then fold the column blocks back in candidate order.
+            // Values are identical to the old sequential chaining; column
+            // names too, except when the same foreign column name collides
+            // twice in one batch (rename then happens at fold time with the
+            // table-name prefix rather than hstack's numeric salt). Provenance
+            // tracking below uses the folded names, so attribution stays
+            // consistent either way. Multi-candidate
+            // batches pin each join's internal workers to 1 — the
+            // parallelism budget is spent across candidates, not nested
+            // inside them; a lone candidate keeps its internal parallelism.
+            let snapshot = &kept;
+            let inner_threads = if batch.len() > 1 { 1 } else { 0 };
+            let extra_tables: Vec<Result<Table>> = arda_par::par_map(batch, 0, |_, cand| {
                 let foreign = repo.get(cand.table_index).expect("validated above");
-                let kind = join_kind_for(&joined, cand, cfg.soft_method);
+                let kind = join_kind_for(snapshot, cand, cfg.soft_method);
                 let spec = JoinSpec {
                     base_keys: vec![cand.base_key.clone()],
                     foreign_keys: vec![cand.foreign_key.clone()],
                     kind,
                 };
-                let before: HashSet<String> =
-                    joined.columns().iter().map(|c| c.name().to_string()).collect();
-                joined = execute_join(&joined, foreign, &spec, cfg.seed)?;
+                let before: HashSet<&str> = snapshot.columns().iter().map(|c| c.name()).collect();
+                let joined =
+                    execute_join_threads(snapshot, foreign, &spec, cfg.seed, inner_threads)?;
+                let mut extras = Table::empty(cand.table_name.clone());
+                for col in joined.columns() {
+                    if !before.contains(col.name()) {
+                        extras.add_column(col.clone()).map_err(ArdaError::from)?;
+                    }
+                }
+                Ok(extras)
+            });
+
+            let mut joined = kept.clone();
+            for (cand, extras) in batch.iter().zip(extra_tables) {
+                let before: HashSet<String> = joined
+                    .columns()
+                    .iter()
+                    .map(|c| c.name().to_string())
+                    .collect();
+                joined = joined.hstack(&extras?)?;
                 joins_executed += 1;
                 for col in joined.columns() {
                     if !before.contains(col.name()) {
@@ -292,7 +335,10 @@ fn join_kind_for(base: &Table, cand: &CandidateJoin, soft: SoftMethod) -> JoinKi
 /// RBF-kernel SVM for classification, "such that the best score achieved
 /// was reported".
 fn best_estimate(data: &Dataset, seed: u64) -> Result<(f64, ModelKind)> {
-    let mut estimators = vec![ModelKind::RandomForest { n_trees: 64, max_depth: 12 }];
+    let mut estimators = vec![ModelKind::RandomForest {
+        n_trees: 64,
+        max_depth: 12,
+    }];
     if data.task.is_classification() {
         estimators.push(ModelKind::RbfSvm { c: 1.0 });
     }
@@ -304,7 +350,7 @@ fn best_estimate(data: &Dataset, seed: u64) -> Result<(f64, ModelKind)> {
     let mut best: Option<(f64, ModelKind)> = None;
     for kind in estimators {
         let score = holdout_score(data, &kind, &train, &holdout, seed)?;
-        if best.as_ref().map_or(true, |(s, _)| score > *s) {
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, kind));
         }
     }
@@ -330,7 +376,11 @@ mod tests {
 
     #[test]
     fn taxi_augmentation_improves_over_base() {
-        let sc = taxi(&ScenarioConfig { n_rows: 150, n_decoys: 4, seed: 0 });
+        let sc = taxi(&ScenarioConfig {
+            n_rows: 150,
+            n_decoys: 4,
+            seed: 0,
+        });
         let repo = Repository::from_tables(sc.repository.clone());
         let arda = Arda::new(fast_config(0));
         let report = arda.run(&sc.base, &repo, &sc.target).unwrap();
@@ -342,8 +392,7 @@ mod tests {
         );
         assert!(report.joins_executed > 0);
         // Signal tables contribute at least one selected column.
-        let tables: HashSet<&str> =
-            report.selected.iter().map(|s| s.table.as_str()).collect();
+        let tables: HashSet<&str> = report.selected.iter().map(|s| s.table.as_str()).collect();
         assert!(
             tables.contains("weather") || tables.contains("events"),
             "selected from signal tables: {:?}",
@@ -353,18 +402,32 @@ mod tests {
 
     #[test]
     fn school_classification_pipeline() {
-        let sc = school(&ScenarioConfig { n_rows: 150, n_decoys: 4, seed: 1 }, false);
+        let sc = school(
+            &ScenarioConfig {
+                n_rows: 150,
+                n_decoys: 4,
+                seed: 1,
+            },
+            false,
+        );
         let repo = Repository::from_tables(sc.repository.clone());
         let arda = Arda::new(fast_config(1));
         let report = arda.run(&sc.base, &repo, &sc.target).unwrap();
         assert!(report.augmented_score >= report.base_score - 0.05);
         assert!(report.augmented.n_rows() <= 150);
-        assert!(report.augmented.column("result").is_ok(), "target column retained");
+        assert!(
+            report.augmented.column("result").is_ok(),
+            "target column retained"
+        );
     }
 
     #[test]
     fn tr_prefilter_eliminates_tables() {
-        let sc = poverty(&ScenarioConfig { n_rows: 120, n_decoys: 3, seed: 2 });
+        let sc = poverty(&ScenarioConfig {
+            n_rows: 120,
+            n_decoys: 3,
+            seed: 2,
+        });
         let repo = Repository::from_tables(sc.repository.clone());
         let mut cfg = fast_config(2);
         // county key domain == base rows → ratio 1; τ=0.5 eliminates all.
@@ -376,16 +439,28 @@ mod tests {
 
     #[test]
     fn base_rows_never_fan_out() {
-        let sc = taxi(&ScenarioConfig { n_rows: 100, n_decoys: 2, seed: 3 });
+        let sc = taxi(&ScenarioConfig {
+            n_rows: 100,
+            n_decoys: 2,
+            seed: 3,
+        });
         let repo = Repository::from_tables(sc.repository.clone());
         let arda = Arda::new(fast_config(3));
         let report = arda.run(&sc.base, &repo, &sc.target).unwrap();
-        assert_eq!(report.augmented.n_rows(), 100, "coreset keeps all 100 rows (≤ auto cap)");
+        assert_eq!(
+            report.augmented.n_rows(),
+            100,
+            "coreset keeps all 100 rows (≤ auto cap)"
+        );
     }
 
     #[test]
     fn table_plan_runs() {
-        let sc = poverty(&ScenarioConfig { n_rows: 100, n_decoys: 2, seed: 4 });
+        let sc = poverty(&ScenarioConfig {
+            n_rows: 100,
+            n_decoys: 2,
+            seed: 4,
+        });
         let repo = Repository::from_tables(sc.repository.clone());
         let mut cfg = fast_config(4);
         cfg.join_plan = JoinPlan::Table;
@@ -396,9 +471,15 @@ mod tests {
 
     #[test]
     fn improvement_pct_math() {
-        let sc = taxi(&ScenarioConfig { n_rows: 80, n_decoys: 1, seed: 5 });
+        let sc = taxi(&ScenarioConfig {
+            n_rows: 80,
+            n_decoys: 1,
+            seed: 5,
+        });
         let repo = Repository::from_tables(sc.repository.clone());
-        let report = Arda::new(fast_config(5)).run(&sc.base, &repo, &sc.target).unwrap();
+        let report = Arda::new(fast_config(5))
+            .run(&sc.base, &repo, &sc.target)
+            .unwrap();
         let pct = report.improvement_pct();
         let manual = (report.augmented_score - report.base_score) / report.base_score.abs() * 100.0;
         assert!((pct - manual).abs() < 1e-9);
@@ -406,7 +487,11 @@ mod tests {
 
     #[test]
     fn missing_target_errors() {
-        let sc = taxi(&ScenarioConfig { n_rows: 50, n_decoys: 1, seed: 6 });
+        let sc = taxi(&ScenarioConfig {
+            n_rows: 50,
+            n_decoys: 1,
+            seed: 6,
+        });
         let repo = Repository::from_tables(sc.repository.clone());
         assert!(Arda::default().run(&sc.base, &repo, "nope").is_err());
     }

@@ -137,7 +137,12 @@ mod tests {
     #[test]
     fn budget_plan_respects_budget() {
         // Widths: 2, 3, 2, 3 — budget 5 → [2+3], [2+3].
-        let tables = vec![table("t0", 2), table("t1", 3), table("t2", 2), table("t3", 3)];
+        let tables = vec![
+            table("t0", 2),
+            table("t1", 3),
+            table("t2", 2),
+            table("t3", 3),
+        ];
         let cands: Vec<CandidateJoin> = (0..4).map(candidate).collect();
         let b = plan_batches(&cands, &tables, JoinPlan::Budget { budget: Some(5) }, 100);
         assert_eq!(b.len(), 2);

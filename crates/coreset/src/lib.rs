@@ -48,14 +48,21 @@ pub struct CoresetSpec {
 
 impl Default for CoresetSpec {
     fn default() -> Self {
-        CoresetSpec { method: CoresetMethod::Uniform, size: None, seed: 0 }
+        CoresetSpec {
+            method: CoresetMethod::Uniform,
+            size: None,
+            seed: 0,
+        }
     }
 }
 
 impl CoresetSpec {
     /// Resolve the target size for `n` rows.
     pub fn resolve_size(&self, n: usize) -> usize {
-        self.size.unwrap_or_else(|| auto_size(n)).min(n).max(1.min(n))
+        self.size
+            .unwrap_or_else(|| auto_size(n))
+            .min(n)
+            .max(1.min(n))
     }
 }
 
@@ -99,7 +106,11 @@ pub fn stratified_indices(labels: &[f64], size: usize, seed: u64) -> Vec<usize> 
         .iter()
         .map(|(&label, rows)| {
             let exact = size as f64 * rows.len() as f64 / n as f64;
-            (label, (exact.floor() as usize).max(1).min(rows.len()), exact - exact.floor())
+            (
+                label,
+                (exact.floor() as usize).max(1).min(rows.len()),
+                exact - exact.floor(),
+            )
         })
         .collect();
     let mut used: usize = allocations.iter().map(|a| a.1).sum();
@@ -190,7 +201,7 @@ pub fn sketch_xy(
         let sub = x.select_rows(rows).expect("stratum rows in bounds");
         let os = Osnap::new(rows.len(), share, seed.wrapping_add(stratum_no as u64));
         let sk = os.apply(&sub);
-        out_y.extend(std::iter::repeat(*label as f64).take(sk.rows()));
+        out_y.extend(std::iter::repeat_n(*label as f64, sk.rows()));
         out_x = Some(match out_x {
             None => sk,
             Some(acc) => {
@@ -243,7 +254,10 @@ mod tests {
         let labels: Vec<f64> = (0..100).map(|i| if i < 80 { 0.0 } else { 1.0 }).collect();
         let idx = stratified_indices(&labels, 20, 0);
         let c1 = idx.iter().filter(|&&i| labels[i] == 1.0).count();
-        assert!((3..=5).contains(&c1), "≈20% of sample from class 1, got {c1}");
+        assert!(
+            (3..=5).contains(&c1),
+            "≈20% of sample from class 1, got {c1}"
+        );
     }
 
     #[test]
@@ -256,13 +270,25 @@ mod tests {
     #[test]
     fn row_coreset_dispatch() {
         let labels: Vec<f64> = (0..50).map(|i| (i % 2) as f64).collect();
-        let spec = CoresetSpec { method: CoresetMethod::Stratified, size: Some(10), seed: 0 };
+        let spec = CoresetSpec {
+            method: CoresetMethod::Stratified,
+            size: Some(10),
+            seed: 0,
+        };
         let idx = row_coreset(50, Some(&labels), &spec);
         assert_eq!(idx.len(), 10);
-        let spec_u = CoresetSpec { method: CoresetMethod::Uniform, size: Some(10), seed: 0 };
+        let spec_u = CoresetSpec {
+            method: CoresetMethod::Uniform,
+            size: Some(10),
+            seed: 0,
+        };
         assert_eq!(row_coreset(50, None, &spec_u).len(), 10);
         // Sketch as row sampler degrades to uniform.
-        let spec_s = CoresetSpec { method: CoresetMethod::Sketch, size: Some(10), seed: 0 };
+        let spec_s = CoresetSpec {
+            method: CoresetMethod::Sketch,
+            size: Some(10),
+            seed: 0,
+        };
         assert_eq!(row_coreset(50, None, &spec_s).len(), 10);
     }
 
@@ -278,7 +304,9 @@ mod tests {
     #[test]
     fn sketch_regression_shrinks_rows() {
         let x = Matrix::from_rows(
-            &(0..100).map(|i| vec![i as f64, (i * i) as f64]).collect::<Vec<_>>(),
+            &(0..100)
+                .map(|i| vec![i as f64, (i * i) as f64])
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
@@ -325,6 +353,9 @@ mod tests {
     #[test]
     fn stratified_deterministic_per_seed() {
         let labels: Vec<f64> = (0..40).map(|i| (i % 2) as f64).collect();
-        assert_eq!(stratified_indices(&labels, 8, 5), stratified_indices(&labels, 8, 5));
+        assert_eq!(
+            stratified_indices(&labels, 8, 5),
+            stratified_indices(&labels, 8, 5)
+        );
     }
 }

@@ -122,14 +122,14 @@ fn keyable(dtype: DataType) -> bool {
 }
 
 fn compatible(a: DataType, b: DataType) -> bool {
-    match (a, b) {
-        (DataType::Str, DataType::Str) => true,
-        (DataType::Int, DataType::Int) => true,
-        (DataType::Timestamp, DataType::Timestamp)
-        | (DataType::Timestamp, DataType::Int)
-        | (DataType::Int, DataType::Timestamp) => true,
-        _ => false,
-    }
+    matches!(
+        (a, b),
+        (DataType::Str, DataType::Str)
+            | (DataType::Int, DataType::Int)
+            | (DataType::Timestamp, DataType::Timestamp)
+            | (DataType::Timestamp, DataType::Int)
+            | (DataType::Int, DataType::Timestamp)
+    )
 }
 
 /// Numeric range overlap in `[0, 1]` (intersection over union of ranges).
@@ -178,18 +178,25 @@ pub fn discover_joins(
                 if !keyable(fcol.dtype()) || !compatible(bcol.dtype(), fcol.dtype()) {
                     continue;
                 }
-                let stats = join_stats(base, foreign, &[bcol.name()], &[fcol.name()])
-                    .map_err(|e| match e {
+                let stats = join_stats(base, foreign, &[bcol.name()], &[fcol.name()]).map_err(
+                    |e| match e {
                         arda_join::JoinError::Table(t) => t,
                         other => TableError::Invalid(other.to_string()),
-                    })?;
+                    },
+                )?;
                 let exact = stats.intersection_score();
                 let name_match = bcol.name().eq_ignore_ascii_case(fcol.name())
-                    || bcol.name().to_lowercase().contains(&fcol.name().to_lowercase())
-                    || fcol.name().to_lowercase().contains(&bcol.name().to_lowercase());
+                    || bcol
+                        .name()
+                        .to_lowercase()
+                        .contains(&fcol.name().to_lowercase())
+                    || fcol
+                        .name()
+                        .to_lowercase()
+                        .contains(&bcol.name().to_lowercase());
 
-                let timey = bcol.dtype() == DataType::Timestamp
-                    || fcol.dtype() == DataType::Timestamp;
+                let timey =
+                    bcol.dtype() == DataType::Timestamp || fcol.dtype() == DataType::Timestamp;
                 let (kind, mut score) = if timey && cfg.enable_soft_keys {
                     // Time keys: proximity matters more than exact equality.
                     let overlap = range_overlap(base, bcol.name(), foreign, fcol.name());
@@ -229,7 +236,11 @@ pub fn discover_joins(
         per_table.truncate(cfg.max_candidates_per_table);
         all.extend(per_table);
     }
-    all.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.table_index.cmp(&b.table_index)));
+    all.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.table_index.cmp(&b.table_index))
+    });
     Ok(all)
 }
 
@@ -245,7 +256,9 @@ mod tests {
                 Column::from_timestamps("date", (0..30).map(|i| i * 86_400).collect()),
                 Column::from_str(
                     "borough",
-                    (0..30).map(|i| ["bronx", "queens", "manhattan"][i % 3]).collect(),
+                    (0..30)
+                        .map(|i| ["bronx", "queens", "manhattan"][i % 3])
+                        .collect(),
                 ),
                 Column::from_f64("trips", (0..30).map(|i| i as f64).collect()),
             ],
@@ -292,7 +305,10 @@ mod tests {
         let cands = discover_joins(&base(), &repo, &DiscoveryConfig::default()).unwrap();
         let names: Vec<&str> = cands.iter().map(|c| c.table_name.as_str()).collect();
         assert!(names.contains(&"weather"), "weather discovered: {names:?}");
-        assert!(names.contains(&"population"), "population discovered: {names:?}");
+        assert!(
+            names.contains(&"population"),
+            "population discovered: {names:?}"
+        );
         assert!(!names.contains(&"junk"), "junk filtered: {names:?}");
         let w = cands.iter().find(|c| c.table_name == "weather").unwrap();
         assert_eq!(w.kind, KeyKind::Soft, "time keys are soft");
@@ -312,8 +328,10 @@ mod tests {
 
     #[test]
     fn name_bonus_boosts_matching_columns() {
-        let mut cfg = DiscoveryConfig::default();
-        cfg.name_bonus = 0.0;
+        let mut cfg = DiscoveryConfig {
+            name_bonus: 0.0,
+            ..Default::default()
+        };
         let repo = Repository::from_tables(vec![population()]);
         let without = discover_joins(&base(), &repo, &cfg).unwrap();
         cfg.name_bonus = 0.5;
@@ -323,7 +341,10 @@ mod tests {
 
     #[test]
     fn soft_keys_can_be_disabled() {
-        let cfg = DiscoveryConfig { enable_soft_keys: false, ..Default::default() };
+        let cfg = DiscoveryConfig {
+            enable_soft_keys: false,
+            ..Default::default()
+        };
         let repo = Repository::from_tables(vec![weather()]);
         let cands = discover_joins(&base(), &repo, &cfg).unwrap();
         assert!(cands.iter().all(|c| c.kind == KeyKind::Hard));
@@ -333,12 +354,17 @@ mod tests {
     fn measurement_floats_never_key() {
         let repo = Repository::from_tables(vec![weather()]);
         let cands = discover_joins(&base(), &repo, &DiscoveryConfig::default()).unwrap();
-        assert!(cands.iter().all(|c| c.base_key != "trips" && c.foreign_key != "temp"));
+        assert!(cands
+            .iter()
+            .all(|c| c.base_key != "trips" && c.foreign_key != "temp"));
     }
 
     #[test]
     fn per_table_cap_respected() {
-        let cfg = DiscoveryConfig { max_candidates_per_table: 1, ..Default::default() };
+        let cfg = DiscoveryConfig {
+            max_candidates_per_table: 1,
+            ..Default::default()
+        };
         let repo = Repository::from_tables(vec![weather(), population()]);
         let cands = discover_joins(&base(), &repo, &cfg).unwrap();
         for ti in [0usize, 1] {

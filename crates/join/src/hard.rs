@@ -51,8 +51,10 @@ pub fn left_hard_join(
     }
 
     let bkeys = base.keys(base_keys)?;
-    let matches: Vec<Option<usize>> =
-        bkeys.into_iter().map(|k| k.and_then(|k| index.get(&k).copied())).collect();
+    let matches: Vec<Option<usize>> = bkeys
+        .into_iter()
+        .map(|k| k.and_then(|k| index.get(&k).copied()))
+        .collect();
 
     // Gather matched foreign rows (nulls where unmatched), minus key columns.
     let value_names: Vec<&str> = foreign
@@ -147,11 +149,7 @@ mod tests {
 
     #[test]
     fn null_keys_never_match() {
-        let b = Table::new(
-            "b",
-            vec![Column::from_i64_opt("k", vec![Some(1), None])],
-        )
-        .unwrap();
+        let b = Table::new("b", vec![Column::from_i64_opt("k", vec![Some(1), None])]).unwrap();
         let f = Table::new(
             "f",
             vec![
@@ -162,7 +160,10 @@ mod tests {
         .unwrap();
         let out = left_hard_join(&b, &f, &["k"], &["k"]).unwrap();
         assert_eq!(out.column("v").unwrap().get_f64(0), Some(1.0));
-        assert!(out.column("v").unwrap().get(1).is_null(), "null keys must not match null keys");
+        assert!(
+            out.column("v").unwrap().get(1).is_null(),
+            "null keys must not match null keys"
+        );
     }
 
     #[test]
@@ -177,7 +178,11 @@ mod tests {
         .unwrap();
         let out = left_hard_join(&base(), &foreign, &["city"], &["city"]).unwrap();
         assert!(out.column("ext.target").is_ok());
-        assert_eq!(out.column("target").unwrap().get_f64(0), Some(1.0), "base column unchanged");
+        assert_eq!(
+            out.column("target").unwrap().get_f64(0),
+            Some(1.0),
+            "base column unchanged"
+        );
     }
 
     #[test]

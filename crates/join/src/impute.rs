@@ -25,7 +25,9 @@ pub fn impute(table: &Table, seed: u64) -> Result<(Table, usize)> {
             continue;
         }
         let new_col = match col.data() {
-            ColumnData::Float(_) | ColumnData::Int(_) | ColumnData::Timestamp(_)
+            ColumnData::Float(_)
+            | ColumnData::Int(_)
+            | ColumnData::Timestamp(_)
             | ColumnData::Bool(_) => {
                 let median = col.median().expect("non-null values exist");
                 let values: Vec<Value> = (0..n)
@@ -36,9 +38,7 @@ pub fn impute(table: &Table, seed: u64) -> Result<(Table, usize)> {
                             match col.data() {
                                 ColumnData::Float(_) => Value::Float(median),
                                 ColumnData::Bool(_) => Value::Bool(median >= 0.5),
-                                ColumnData::Timestamp(_) => {
-                                    Value::Timestamp(median.round() as i64)
-                                }
+                                ColumnData::Timestamp(_) => Value::Timestamp(median.round() as i64),
                                 _ => Value::Int(median.round() as i64),
                             }
                         } else {
@@ -49,8 +49,7 @@ pub fn impute(table: &Table, seed: u64) -> Result<(Table, usize)> {
                 Column::from_values(col.name(), col.dtype(), values)?
             }
             ColumnData::Str(_) => {
-                let observed: Vec<Value> =
-                    col.iter().filter(|v| !v.is_null()).collect();
+                let observed: Vec<Value> = col.iter().filter(|v| !v.is_null()).collect();
                 let values: Vec<Value> = (0..n)
                     .map(|i| {
                         let v = col.get(i);
@@ -78,7 +77,10 @@ mod tests {
     fn numeric_nulls_take_median() {
         let t = Table::new(
             "t",
-            vec![Column::from_f64_opt("x", vec![Some(1.0), None, Some(3.0), Some(10.0)])],
+            vec![Column::from_f64_opt(
+                "x",
+                vec![Some(1.0), None, Some(3.0), Some(10.0)],
+            )],
         )
         .unwrap();
         let (out, filled) = impute(&t, 0).unwrap();
@@ -122,11 +124,7 @@ mod tests {
 
     #[test]
     fn all_null_column_left_alone() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_f64_opt("dead", vec![None, None])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_f64_opt("dead", vec![None, None])]).unwrap();
         let (out, filled) = impute(&t, 0).unwrap();
         assert_eq!(filled, 0);
         assert_eq!(out.column("dead").unwrap().null_count(), 2);

@@ -136,6 +136,20 @@ pub type Result<T> = std::result::Result<T, JoinError>;
 /// pre-aggregated on its keys first, so to-many joins cannot duplicate rows.
 /// `seed` drives the random choices of categorical interpolation.
 pub fn execute_join(base: &Table, foreign: &Table, spec: &JoinSpec, seed: u64) -> Result<Table> {
+    execute_join_threads(base, foreign, spec, seed, 0)
+}
+
+/// [`execute_join`] with an explicit cap on the join's internal worker
+/// count (`0` = automatic). Callers that already fan out over candidate
+/// joins (the pipeline's batch executor) pass `1` to avoid nesting
+/// parallelism inside parallelism.
+pub fn execute_join_threads(
+    base: &Table,
+    foreign: &Table,
+    spec: &JoinSpec,
+    seed: u64,
+    threads: usize,
+) -> Result<Table> {
     if spec.base_keys.len() != spec.foreign_keys.len() || spec.base_keys.is_empty() {
         return Err(JoinError::InvalidSpec(format!(
             "{} base keys vs {} foreign keys",
@@ -152,10 +166,10 @@ pub fn execute_join(base: &Table, foreign: &Table, spec: &JoinSpec, seed: u64) -
             let (bk, fk) = single_key(&base_keys, &foreign_keys)?;
             match method {
                 SoftMethod::Nearest { tolerance } => {
-                    soft::nearest_join(base, foreign, bk, fk, tolerance)
+                    soft::nearest_join_threads(base, foreign, bk, fk, tolerance, threads)
                 }
                 SoftMethod::TwoWayNearest => {
-                    soft::two_way_nearest_join(base, foreign, bk, fk, seed)
+                    soft::two_way_nearest_join_threads(base, foreign, bk, fk, seed, threads)
                 }
             }
         }
@@ -169,10 +183,10 @@ pub fn execute_join(base: &Table, foreign: &Table, spec: &JoinSpec, seed: u64) -
             let resampled = resample::resample_to_base(base, foreign, bk, fk)?;
             match method {
                 SoftMethod::Nearest { tolerance } => {
-                    soft::nearest_join(base, &resampled, bk, fk, tolerance)
+                    soft::nearest_join_threads(base, &resampled, bk, fk, tolerance, threads)
                 }
                 SoftMethod::TwoWayNearest => {
-                    soft::two_way_nearest_join(base, &resampled, bk, fk, seed)
+                    soft::two_way_nearest_join_threads(base, &resampled, bk, fk, seed, threads)
                 }
             }
         }

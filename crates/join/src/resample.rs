@@ -172,11 +172,8 @@ mod tests {
 
     #[test]
     fn resample_to_base_noop_when_base_finer() {
-        let base = Table::new(
-            "base",
-            vec![Column::from_timestamps("t", vec![0, 1, 2, 3])],
-        )
-        .unwrap();
+        let base =
+            Table::new("base", vec![Column::from_timestamps("t", vec![0, 1, 2, 3])]).unwrap();
         let out = resample_to_base(&base, &minute_weather(), "t", "time").unwrap();
         assert_eq!(out, minute_weather());
     }

@@ -1,60 +1,88 @@
 //! Soft-key joins: nearest-neighbour and two-way nearest-neighbour with
 //! λ-interpolation (ARDA §4 "Key Matches").
+//!
+//! Both joins build one [`SoftKeyIndex`] over the (pre-aggregated) foreign
+//! key and reuse it across every base row; the per-row binary-search
+//! matching — the hot loop for large bases — runs in parallel row bands
+//! with deterministic output.
 
 use crate::hard::pre_aggregate;
 use crate::{JoinError, Result};
-use arda_table::{Column, DataType, Table, Value};
+#[cfg(test)]
+use arda_table::Value;
+use arda_table::{Column, ColumnData, DataType, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Sorted (key value, row index) pairs of the foreign table's soft key.
-fn sorted_foreign_keys(foreign: &Table, key: &str) -> Result<Vec<(f64, usize)>> {
-    let col = foreign.column(key)?;
-    if !col.dtype().is_numeric() {
-        return Err(JoinError::NonNumericSoftKey(key.to_string()));
-    }
-    let mut pairs: Vec<(f64, usize)> = (0..foreign.n_rows())
-        .filter_map(|i| col.get_f64(i).map(|v| (v, i)))
-        .collect();
-    pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    Ok(pairs)
+/// Base rows below which per-row matching stays sequential.
+const PAR_MIN_ROWS: usize = 4_096;
+
+/// A sorted index over a foreign table's soft (numeric) key: `(key value,
+/// row index)` pairs ordered by key then row. Built once per join and
+/// shared, read-only, by all matching workers.
+struct SoftKeyIndex {
+    sorted: Vec<(f64, usize)>,
 }
 
-/// Index of the entry in `sorted` closest to `x` (ties → smaller key).
-fn closest(sorted: &[(f64, usize)], x: f64) -> Option<usize> {
-    if sorted.is_empty() {
-        return None;
+impl SoftKeyIndex {
+    /// Build from the foreign table's key column.
+    fn build(foreign: &Table, key: &str) -> Result<SoftKeyIndex> {
+        let col = foreign.column(key)?;
+        if !col.dtype().is_numeric() {
+            return Err(JoinError::NonNumericSoftKey(key.to_string()));
+        }
+        let mut sorted: Vec<(f64, usize)> = (0..foreign.n_rows())
+            .filter_map(|i| col.get_f64(i).map(|v| (v, i)))
+            .collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(SoftKeyIndex { sorted })
     }
-    let pos = sorted.partition_point(|(v, _)| *v < x);
-    let mut best: Option<usize> = None;
-    let mut best_dist = f64::INFINITY;
-    for candidate in [pos.checked_sub(1), Some(pos)].into_iter().flatten() {
-        if let Some(&(v, _)) = sorted.get(candidate) {
-            let d = (v - x).abs();
-            if d < best_dist {
-                best_dist = d;
-                best = Some(candidate);
+
+    /// Position of the entry closest to `x` (ties → smaller key).
+    fn closest(&self, x: f64) -> Option<usize> {
+        let sorted = &self.sorted;
+        if sorted.is_empty() {
+            return None;
+        }
+        let pos = sorted.partition_point(|(v, _)| *v < x);
+        let mut best: Option<usize> = None;
+        let mut best_dist = f64::INFINITY;
+        for candidate in [pos.checked_sub(1), Some(pos)].into_iter().flatten() {
+            if let Some(&(v, _)) = sorted.get(candidate) {
+                let d = (v - x).abs();
+                if d < best_dist {
+                    best_dist = d;
+                    best = Some(candidate);
+                }
             }
         }
+        best
     }
-    best
-}
 
-/// Neighbours of `x`: (largest key ≤ x, smallest key ≥ x) as positions in
-/// `sorted`. Either side may be absent at the boundary.
-fn bracketing(sorted: &[(f64, usize)], x: f64) -> (Option<usize>, Option<usize>) {
-    if sorted.is_empty() {
-        return (None, None);
+    /// Neighbours of `x`: (largest key ≤ x, smallest key ≥ x) as positions.
+    /// Either side may be absent at the boundary.
+    fn bracketing(&self, x: f64) -> (Option<usize>, Option<usize>) {
+        let sorted = &self.sorted;
+        if sorted.is_empty() {
+            return (None, None);
+        }
+        let pos = sorted.partition_point(|(v, _)| *v < x);
+        // `pos` is the first key ≥ x.
+        let high = if pos < sorted.len() { Some(pos) } else { None };
+        let low = if pos < sorted.len() && sorted[pos].0 == x {
+            Some(pos) // exact match serves as both sides
+        } else {
+            pos.checked_sub(1)
+        };
+        (low, high)
     }
-    let pos = sorted.partition_point(|(v, _)| *v < x);
-    // `pos` is the first key ≥ x.
-    let high = if pos < sorted.len() { Some(pos) } else { None };
-    let low = if pos < sorted.len() && sorted[pos].0 == x {
-        Some(pos) // exact match serves as both sides
-    } else {
-        pos.checked_sub(1)
-    };
-    (low, high)
+
+    /// Worker count for a scan over `n_rows` base rows: an explicit caller
+    /// cap wins (the pipeline pins inner joins to 1 when it already fans
+    /// out over candidates), otherwise small scans stay sequential.
+    fn scan_threads(n_rows: usize, requested: usize) -> usize {
+        arda_par::threads_for(requested, n_rows, PAR_MIN_ROWS)
+    }
 }
 
 /// Nearest-neighbour soft LEFT join: each base row joins the foreign row
@@ -67,24 +95,42 @@ pub fn nearest_join(
     foreign_key: &str,
     tolerance: Option<f64>,
 ) -> Result<Table> {
+    nearest_join_threads(base, foreign, base_key, foreign_key, tolerance, 0)
+}
+
+/// [`nearest_join`] with an explicit worker cap (`0` = automatic).
+pub fn nearest_join_threads(
+    base: &Table,
+    foreign: &Table,
+    base_key: &str,
+    foreign_key: &str,
+    tolerance: Option<f64>,
+    threads: usize,
+) -> Result<Table> {
     let base_col = base.column(base_key)?;
     if !base_col.dtype().is_numeric() {
         return Err(JoinError::NonNumericSoftKey(base_key.to_string()));
     }
     let foreign = pre_aggregate(foreign, &[foreign_key])?;
-    let sorted = sorted_foreign_keys(&foreign, foreign_key)?;
+    let index = SoftKeyIndex::build(&foreign, foreign_key)?;
 
-    let matches: Vec<Option<usize>> = (0..base.n_rows())
-        .map(|i| {
-            let x = base_col.get_f64(i)?;
-            let c = closest(&sorted, x)?;
-            let (v, row) = sorted[c];
-            match tolerance {
-                Some(t) if (v - x).abs() > t => None,
-                _ => Some(row),
-            }
-        })
-        .collect();
+    let matches: Vec<Option<usize>> = arda_par::par_for_rows(
+        base.n_rows(),
+        SoftKeyIndex::scan_threads(base.n_rows(), threads),
+        |range| {
+            range
+                .map(|i| {
+                    let x = base_col.get_f64(i)?;
+                    let c = index.closest(x)?;
+                    let (v, row) = index.sorted[c];
+                    match tolerance {
+                        Some(t) if (v - x).abs() > t => None,
+                        _ => Some(row),
+                    }
+                })
+                .collect()
+        },
+    );
 
     let value_names: Vec<&str> = foreign
         .columns()
@@ -110,79 +156,126 @@ pub fn two_way_nearest_join(
     foreign_key: &str,
     seed: u64,
 ) -> Result<Table> {
+    two_way_nearest_join_threads(base, foreign, base_key, foreign_key, seed, 0)
+}
+
+/// [`two_way_nearest_join`] with an explicit worker cap (`0` = automatic).
+pub fn two_way_nearest_join_threads(
+    base: &Table,
+    foreign: &Table,
+    base_key: &str,
+    foreign_key: &str,
+    seed: u64,
+    threads: usize,
+) -> Result<Table> {
     let base_col = base.column(base_key)?;
     if !base_col.dtype().is_numeric() {
         return Err(JoinError::NonNumericSoftKey(base_key.to_string()));
     }
     let foreign = pre_aggregate(foreign, &[foreign_key])?;
-    let sorted = sorted_foreign_keys(&foreign, foreign_key)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let index = SoftKeyIndex::build(&foreign, foreign_key)?;
 
-    // Interpolation plan per base row: (row_low, row_high, λ).
-    let plans: Vec<Option<(usize, usize, f64)>> = (0..base.n_rows())
-        .map(|i| {
-            let x = base_col.get_f64(i)?;
-            let (low, high) = bracketing(&sorted, x);
-            match (low, high) {
-                (Some(l), Some(h)) => {
-                    let (yl, rl) = sorted[l];
-                    let (yh, rh) = sorted[h];
-                    let lambda = if yh > yl { (yh - x) / (yh - yl) } else { 1.0 };
-                    Some((rl, rh, lambda))
-                }
-                (Some(l), None) => {
-                    let (_, rl) = sorted[l];
-                    Some((rl, rl, 1.0))
-                }
-                (None, Some(h)) => {
-                    let (_, rh) = sorted[h];
-                    Some((rh, rh, 1.0))
-                }
-                (None, None) => None,
+    // Interpolation plan per base row: (row_low, row_high, λ). Pure binary
+    // searches over the shared index → parallel row bands.
+    let plans: Vec<Option<(usize, usize, f64)>> = arda_par::par_for_rows(
+        base.n_rows(),
+        SoftKeyIndex::scan_threads(base.n_rows(), threads),
+        |range| {
+            range
+                .map(|i| {
+                    let x = base_col.get_f64(i)?;
+                    let (low, high) = index.bracketing(x);
+                    match (low, high) {
+                        (Some(l), Some(h)) => {
+                            let (yl, rl) = index.sorted[l];
+                            let (yh, rh) = index.sorted[h];
+                            let lambda = if yh > yl { (yh - x) / (yh - yl) } else { 1.0 };
+                            Some((rl, rh, lambda))
+                        }
+                        (Some(l), None) => {
+                            let (_, rl) = index.sorted[l];
+                            Some((rl, rl, 1.0))
+                        }
+                        (None, Some(h)) => {
+                            let (_, rh) = index.sorted[h];
+                            Some((rh, rh, 1.0))
+                        }
+                        (None, None) => None,
+                    }
+                })
+                .collect()
+        },
+    );
+
+    // Categorical neighbour picks consume the seeded RNG sequentially in
+    // (column, row) order — exactly the draws the old sequential loop made —
+    // so the parallel materialisation below stays deterministic.
+    let value_cols: Vec<&Column> = foreign
+        .columns()
+        .iter()
+        .filter(|c| c.name() != foreign_key)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let str_picks: Vec<Option<Vec<Option<usize>>>> = value_cols
+        .iter()
+        .map(|col| {
+            if col.dtype() != DataType::Str {
+                return None;
             }
+            Some(
+                plans
+                    .iter()
+                    .map(|p| {
+                        p.as_ref().map(|(rl, rh, _)| {
+                            if rl == rh || rng.gen::<bool>() {
+                                *rl
+                            } else {
+                                *rh
+                            }
+                        })
+                    })
+                    .collect(),
+            )
         })
         .collect();
 
-    let mut out = base.clone();
+    // Each output column interpolates independently from the shared plans.
+    let jobs: Vec<(&Column, Option<Vec<Option<usize>>>)> =
+        value_cols.into_iter().zip(str_picks).collect();
+    let threads = arda_par::threads_for(threads, base.n_rows() * jobs.len().max(1), PAR_MIN_ROWS);
+    let new_cols: Vec<Result<Column>> =
+        arda_par::par_map(&jobs, threads, |_, (col, picks)| {
+            match (col.data(), picks) {
+                (ColumnData::Str(cells), Some(picks)) => {
+                    let values: Vec<Option<String>> = picks
+                        .iter()
+                        .map(|p| p.and_then(|row| cells[row].clone()))
+                        .collect();
+                    Ok(Column::from_str_opt(col.name(), values))
+                }
+                _ => {
+                    let values: Vec<Option<f64>> = plans
+                        .iter()
+                        .map(|p| {
+                            let (rl, rh, lambda) = (*p)?;
+                            match (col.get_f64(rl), col.get_f64(rh)) {
+                                (Some(a), Some(b)) => Some(lambda * a + (1.0 - lambda) * b),
+                                (Some(a), None) => Some(a),
+                                (None, Some(b)) => Some(b),
+                                (None, None) => None,
+                            }
+                        })
+                        .collect();
+                    Ok(Column::from_f64_opt(col.name(), values))
+                }
+            }
+        });
+
     let mut extras = Table::empty(foreign.name().to_string());
-    for col in foreign.columns() {
-        if col.name() == foreign_key {
-            continue;
-        }
-        let new_col = match col.dtype() {
-            DataType::Str => {
-                let values: Vec<Value> = plans
-                    .iter()
-                    .map(|p| match p {
-                        None => Value::Null,
-                        Some((rl, rh, _)) => {
-                            let pick = if rl == rh || rng.gen::<bool>() { *rl } else { *rh };
-                            col.get(pick)
-                        }
-                    })
-                    .collect();
-                Column::from_values(col.name(), DataType::Str, values)?
-            }
-            _ => {
-                let values: Vec<Option<f64>> = plans
-                    .iter()
-                    .map(|p| {
-                        let (rl, rh, lambda) = (*p)?;
-                        match (col.get_f64(rl), col.get_f64(rh)) {
-                            (Some(a), Some(b)) => Some(lambda * a + (1.0 - lambda) * b),
-                            (Some(a), None) => Some(a),
-                            (None, Some(b)) => Some(b),
-                            (None, None) => None,
-                        }
-                    })
-                    .collect();
-                Column::from_f64_opt(col.name(), values)
-            }
-        };
-        extras.add_column(new_col)?;
+    for col in new_cols {
+        extras.add_column(col?)?;
     }
-    out = out.hstack(&extras)?;
-    Ok(out)
+    Ok(base.clone().hstack(&extras)?)
 }
 
 #[cfg(test)]
@@ -244,11 +337,7 @@ mod tests {
 
     #[test]
     fn two_way_exact_match_uses_that_row() {
-        let base = Table::new(
-            "b",
-            vec![Column::from_timestamps("t", vec![100])],
-        )
-        .unwrap();
+        let base = Table::new("b", vec![Column::from_timestamps("t", vec![100])]).unwrap();
         let out = two_way_nearest_join(&base, &weather(), "t", "time", 0).unwrap();
         assert_eq!(out.column("temp").unwrap().get_f64(0), Some(20.0));
     }
@@ -265,11 +354,7 @@ mod tests {
 
     #[test]
     fn base_rows_preserved_and_null_keys_null_filled() {
-        let base = Table::new(
-            "b",
-            vec![Column::from_i64_opt("t", vec![Some(50), None])],
-        )
-        .unwrap();
+        let base = Table::new("b", vec![Column::from_i64_opt("t", vec![Some(50), None])]).unwrap();
         let out = nearest_join(&base, &weather(), "t", "time", None).unwrap();
         assert_eq!(out.n_rows(), 2);
         assert!(out.column("temp").unwrap().get(1).is_null());

@@ -82,16 +82,8 @@ mod tests {
     use arda_table::Column;
 
     fn tables() -> (Table, Table) {
-        let base = Table::new(
-            "b",
-            vec![Column::from_i64("k", vec![1, 1, 2, 3])],
-        )
-        .unwrap();
-        let foreign = Table::new(
-            "f",
-            vec![Column::from_i64("k", vec![1, 2, 9, 9])],
-        )
-        .unwrap();
+        let base = Table::new("b", vec![Column::from_i64("k", vec![1, 1, 2, 3])]).unwrap();
+        let foreign = Table::new("f", vec![Column::from_i64("k", vec![1, 2, 9, 9])]).unwrap();
         (base, foreign)
     }
 
@@ -121,16 +113,8 @@ mod tests {
 
     #[test]
     fn nulls_do_not_count() {
-        let b = Table::new(
-            "b",
-            vec![Column::from_i64_opt("k", vec![Some(1), None])],
-        )
-        .unwrap();
-        let f = Table::new(
-            "f",
-            vec![Column::from_i64_opt("k", vec![Some(1), None])],
-        )
-        .unwrap();
+        let b = Table::new("b", vec![Column::from_i64_opt("k", vec![Some(1), None])]).unwrap();
+        let f = Table::new("f", vec![Column::from_i64_opt("k", vec![Some(1), None])]).unwrap();
         let s = join_stats(&b, &f, &["k"], &["k"]).unwrap();
         assert_eq!(s.matched_rows, 1);
         assert_eq!(s.base_distinct, 1);

@@ -17,6 +17,10 @@
 //! * [`sketch`] — OSNAP / CountSketch sparse subspace embeddings (§3.1,
 //!   Definition 2) used by sketching coresets.
 
+// Numeric kernels below index several arrays with one loop variable;
+// iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 mod matrix;
 pub mod random;
 pub mod sketch;

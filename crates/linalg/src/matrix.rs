@@ -1,6 +1,35 @@
-//! Row-major dense matrix.
+//! Row-major dense matrix with cache-blocked, parallel hot-path kernels.
+//!
+//! `matmul`, `gram`, `transpose` and `matvec` split their *output* into
+//! contiguous row bands processed concurrently via [`arda_par`]; within a
+//! band the loops are blocked for cache reuse. Every kernel accumulates
+//! each output element in the same (ascending) order regardless of band
+//! size or thread count, so results are **bit-identical** to the sequential
+//! naive versions — a property the test suite asserts across random shapes
+//! and thread counts.
 
 use crate::{LinalgError, Result};
+
+/// Columns per j-panel in `matmul`: bounds the streamed slice of the
+/// right-hand matrix to a few KB so it stays in L1 across the k loop.
+const MATMUL_JC: usize = 256;
+/// Rows of the right-hand matrix per k-block in `matmul`: with `MATMUL_JC`
+/// this keeps the active `B` panel (`KC × JC × 8B` = 256 KiB) around L2.
+const MATMUL_KC: usize = 128;
+/// Square tile edge for `transpose` (8 KiB per tile pair).
+const TRANSPOSE_TILE: usize = 32;
+/// Minimum scalar operations before a kernel bothers spawning workers;
+/// below this the scoped-thread setup dominates.
+const PAR_MIN_OPS: usize = 1 << 15;
+
+/// Worker count for a kernel touching `ops` scalar operations: the shared
+/// `arda-par` small-input policy with this crate's op threshold, fully
+/// resolved (never the `0` = "global default" placeholder) because the
+/// kernels derive their band sizes from it.
+#[inline]
+fn kernel_threads(requested: usize, ops: usize) -> usize {
+    arda_par::resolve_threads(arda_par::threads_for(requested, ops, PAR_MIN_OPS))
+}
 
 /// A dense `rows × cols` matrix of `f64` stored row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,7 +42,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -48,7 +81,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -97,24 +134,106 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Copy of column `c`.
+    /// Copy of column `c` (strided gather over the flat buffer).
     pub fn col(&self, c: usize) -> Vec<f64> {
-        (0..self.rows).map(|r| self.get(r, c)).collect()
-    }
-
-    /// Transposed copy.
-    pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
-        }
+        let mut out = Vec::new();
+        self.col_into(c, &mut out);
         out
     }
 
-    /// Matrix product `self * other`.
+    /// Gather column `c` into `out` (cleared first), letting callers reuse
+    /// one buffer across a column sweep instead of allocating per column.
+    pub fn col_into(&self, c: usize, out: &mut Vec<f64>) {
+        assert!(
+            c < self.cols,
+            "col {c} out of range for {} columns",
+            self.cols
+        );
+        out.clear();
+        out.reserve(self.rows);
+        if self.rows > 0 {
+            out.extend(self.data[c..].iter().step_by(self.cols).copied());
+        }
+    }
+
+    /// Build from per-column buffers (all of length `rows`), scattering
+    /// directly into the row-major buffer in parallel row bands. This is
+    /// the fast path for columnar sources (featurization) that skips any
+    /// per-cell indirection.
+    pub fn from_columns(rows: usize, columns: &[Vec<f64>]) -> Result<Matrix> {
+        let d = columns.len();
+        if let Some(bad) = columns.iter().find(|c| c.len() != rows) {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "from_columns: column of {} values for {rows} rows",
+                    bad.len()
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(rows, d);
+        if d == 0 || rows == 0 {
+            return Ok(out);
+        }
+        let threads = kernel_threads(0, rows * d);
+        let band = rows.div_ceil(threads).max(1) * d;
+        arda_par::par_chunks_mut(&mut out.data, band, threads, |start, chunk| {
+            let r0 = start / d;
+            for (local_r, out_row) in chunk.chunks_mut(d).enumerate() {
+                let r = r0 + local_r;
+                for (o, col) in out_row.iter_mut().zip(columns) {
+                    *o = col[r];
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Transposed copy: tiled to keep both the source and destination
+    /// access patterns cache-resident, parallel over output row bands.
+    pub fn transpose(&self) -> Matrix {
+        self.transpose_threads(0)
+    }
+
+    /// [`Matrix::transpose`] with an explicit worker count (`0` = global
+    /// default).
+    pub fn transpose_threads(&self, threads: usize) -> Matrix {
+        let (n, d) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(d, n);
+        if n == 0 || d == 0 {
+            return out;
+        }
+        let threads = kernel_threads(threads, n * d);
+        let src = &self.data;
+        let t = TRANSPOSE_TILE;
+        // Output rows are input columns; hand each worker a band of them.
+        let band_rows = d.div_ceil(threads).max(1).min(t);
+        arda_par::par_chunks_mut(&mut out.data, band_rows * n, threads, |start, chunk| {
+            let c0 = start / n;
+            let c1 = c0 + chunk.len().div_ceil(n.max(1));
+            for rr in (0..n).step_by(t) {
+                let r_end = (rr + t).min(n);
+                for c in c0..c1 {
+                    let out_row = &mut chunk[(c - c0) * n..][..n];
+                    for r in rr..r_end {
+                        out_row[r] = src[r * d + c];
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Matrix product `self * other`: cache-blocked over `k` and `j`,
+    /// parallel over output row bands. Bit-identical to the sequential
+    /// naive i-k-j product for every thread count because each output
+    /// element accumulates its `k` contributions in ascending order.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_threads(other, 0)
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker count (`0` = global
+    /// default).
+    pub fn matmul_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
                 context: format!(
@@ -123,59 +242,113 @@ impl Matrix {
                 ),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(other_row) {
-                    *o += a * b;
+        let (n, kd, m) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, m);
+        if n == 0 || kd == 0 || m == 0 {
+            return Ok(out);
+        }
+        let threads = kernel_threads(threads, n * kd * m);
+        let a = &self.data;
+        let b = &other.data;
+        // One contiguous row band per worker (par_chunks_mut assigns
+        // contiguous spans statically, so finer bands would collapse into
+        // the same partition); results are band-size-independent.
+        let band_rows = n.div_ceil(threads).max(1);
+        arda_par::par_chunks_mut(&mut out.data, band_rows * m, threads, |start, chunk| {
+            let i0 = start / m;
+            let rows_here = chunk.len() / m;
+            for kk in (0..kd).step_by(MATMUL_KC) {
+                let k_end = (kk + MATMUL_KC).min(kd);
+                for jj in (0..m).step_by(MATMUL_JC) {
+                    let j_end = (jj + MATMUL_JC).min(m);
+                    for li in 0..rows_here {
+                        let a_row = &a[(i0 + li) * kd..(i0 + li) * kd + kd];
+                        let out_row = &mut chunk[li * m + jj..li * m + j_end];
+                        for k in kk..k_end {
+                            let av = a_row[k];
+                            // One-hot featurized matrices are mostly zeros;
+                            // adding an exact 0·x term is a bitwise no-op
+                            // for finite x, so skipping keeps bit-identity.
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let b_row = &b[k * m + jj..k * m + j_end];
+                            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
-    /// Matrix-vector product.
+    /// Matrix-vector product, parallel over output rows.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        self.matvec_threads(v, 0)
+    }
+
+    /// [`Matrix::matvec`] with an explicit worker count (`0` = global
+    /// default).
+    pub fn matvec_threads(&self, v: &[f64], threads: usize) -> Result<Vec<f64>> {
         if v.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
                 context: format!("matvec: {}x{} * len {}", self.rows, self.cols, v.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        let threads = kernel_threads(threads, self.rows * self.cols);
+        Ok(arda_par::par_for_rows(self.rows, threads, |range| {
+            range
+                .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+                .collect()
+        }))
     }
 
     /// `selfᵀ * self` (Gram matrix), computed without materialising the
-    /// transpose.
+    /// transpose, parallel over output rows.
     pub fn gram(&self) -> Matrix {
-        let d = self.cols;
+        self.gram_threads(0)
+    }
+
+    /// [`Matrix::gram`] with an explicit worker count (`0` = global
+    /// default).
+    ///
+    /// Each worker owns a band of output rows and streams the input once,
+    /// accumulating `out[i][j] += x[r][i] · x[r][j]` in ascending `r` for
+    /// both triangles. Since IEEE multiplication commutes exactly, the two
+    /// triangles come out bitwise symmetric and the result matches the
+    /// sequential upper-triangle + mirror oracle bit-for-bit at any thread
+    /// count — for *finite* inputs. With `±inf`/`NaN` cells the per-row
+    /// zero-skip can produce `0 · inf = NaN` in the lower triangle where
+    /// the mirrored oracle skipped it; no workspace data path produces
+    /// non-finite features.
+    pub fn gram_threads(&self, threads: usize) -> Matrix {
+        let (n, d) = (self.rows, self.cols);
         let mut out = Matrix::zeros(d, d);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for i in 0..d {
-                let a = row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in i..d {
-                    let v = a * row[j];
-                    out.data[i * d + j] += v;
+        if n == 0 || d == 0 {
+            return out;
+        }
+        let threads = kernel_threads(threads, n * d * d / 2);
+        let x = &self.data;
+        let band_rows = d.div_ceil(threads).max(1);
+        arda_par::par_chunks_mut(&mut out.data, band_rows * d, threads, |start, chunk| {
+            let i0 = start / d;
+            let rows_here = chunk.len() / d;
+            for r in 0..n {
+                let row = &x[r * d..(r + 1) * d];
+                for li in 0..rows_here {
+                    let a = row[i0 + li];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut chunk[li * d..(li + 1) * d];
+                    for (o, &v) in out_row.iter_mut().zip(row) {
+                        *o += a * v;
+                    }
                 }
             }
-        }
-        for i in 0..d {
-            for j in 0..i {
-                out.data[i * d + j] = out.data[j * d + i];
-            }
-        }
+        });
         out
     }
 
@@ -189,19 +362,41 @@ impl Matrix {
     /// Sum of two matrices.
     pub fn add(&self, other: &Matrix) -> Result<Matrix> {
         if self.rows != other.rows || self.cols != other.cols {
-            return Err(LinalgError::DimensionMismatch { context: "add".into() });
+            return Err(LinalgError::DimensionMismatch {
+                context: "add".into(),
+            });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Difference `self - other`.
     pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
         if self.rows != other.rows || self.cols != other.cols {
-            return Err(LinalgError::DimensionMismatch { context: "sub".into() });
+            return Err(LinalgError::DimensionMismatch {
+                context: "sub".into(),
+            });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Select a subset of columns into a new matrix.
@@ -261,6 +456,80 @@ impl Matrix {
         (0..self.rows)
             .map(|r| self.row(r).iter().map(|v| v * v).sum::<f64>().sqrt())
             .collect()
+    }
+}
+
+/// The original sequential kernels, kept verbatim as correctness oracles
+/// for the blocked/parallel versions above.
+#[cfg(test)]
+impl Matrix {
+    pub(crate) fn matmul_naive(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "matmul_naive".into(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn transpose_naive(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    pub(crate) fn matvec_naive(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "matvec_naive".into(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    pub(crate) fn gram_naive(&self) -> Matrix {
+        let d = self.cols;
+        let mut out = Matrix::zeros(d, d);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..d {
+                let a = row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    let v = a * row[j];
+                    out.data[i * d + j] += v;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                out.data[i * d + j] = out.data[j * d + i];
+            }
+        }
+        out
     }
 }
 
@@ -362,5 +631,99 @@ mod tests {
         let a = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]).unwrap();
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
         assert_eq!(a.row_norms(), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn kernel_threads_resolves_the_default_path() {
+        // Regression: band sizes derive from this value, so the default
+        // path must resolve to the real worker count, never the 0
+        // placeholder (which would collapse every kernel to one band).
+        arda_par::set_default_threads(6);
+        assert_eq!(kernel_threads(0, PAR_MIN_OPS * 2), 6);
+        assert_eq!(kernel_threads(0, 10), 1, "small inputs stay sequential");
+        assert_eq!(kernel_threads(3, 10), 3, "explicit request wins");
+    }
+
+    #[test]
+    fn col_into_reuses_buffer() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let mut buf = vec![99.0; 10];
+        a.col_into(0, &mut buf);
+        assert_eq!(buf, vec![1.0, 3.0, 5.0]);
+        a.col_into(1, &mut buf);
+        assert_eq!(buf, vec![2.0, 4.0, 6.0]);
+        assert!(Matrix::zeros(0, 3).col(1).is_empty());
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows() {
+        let cols = vec![vec![1.0, 3.0, 5.0], vec![2.0, 4.0, 6.0]];
+        let m = Matrix::from_columns(3, &cols).unwrap();
+        let expect = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m, expect);
+        assert_eq!(Matrix::from_columns(0, &[]).unwrap().rows(), 0);
+        assert!(Matrix::from_columns(2, &[vec![1.0]]).is_err());
+    }
+
+    /// Pseudo-random but deterministic fill (no RNG dependency in this
+    /// crate's tests).
+    fn filled(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut state = salt.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state.is_multiple_of(5) {
+                    0.0 // exercise the sparsity skip
+                } else {
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_oracles_across_shapes_and_threads() {
+        // Shapes straddling every block/tile boundary constant.
+        let shapes = [
+            (1, 1, 1),
+            (3, 7, 2),
+            (17, 33, 9),
+            (40, 130, 70),
+            (65, 257, 31),
+        ];
+        for (si, &(n, k, m)) in shapes.iter().enumerate() {
+            let a = filled(n, k, si as u64);
+            let b = filled(k, m, si as u64 + 100);
+            let v: Vec<f64> = (0..k).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mm_oracle = a.matmul_naive(&b).unwrap();
+            let t_oracle = a.transpose_naive();
+            let g_oracle = a.gram_naive();
+            let mv_oracle = a.matvec_naive(&v).unwrap();
+            for threads in [1, 2, 8] {
+                assert_eq!(
+                    a.matmul_threads(&b, threads).unwrap().data(),
+                    mm_oracle.data(),
+                    "matmul {n}x{k}x{m} threads={threads}"
+                );
+                assert_eq!(
+                    a.transpose_threads(threads).data(),
+                    t_oracle.data(),
+                    "transpose {n}x{k} threads={threads}"
+                );
+                assert_eq!(
+                    a.gram_threads(threads).data(),
+                    g_oracle.data(),
+                    "gram {n}x{k} threads={threads}"
+                );
+                assert_eq!(
+                    a.matvec_threads(&v, threads).unwrap(),
+                    mv_oracle,
+                    "matvec {n}x{k} threads={threads}"
+                );
+            }
+        }
     }
 }

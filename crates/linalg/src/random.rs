@@ -46,7 +46,11 @@ impl MomentMatchedSampler {
                 *v -= m;
             }
         }
-        MomentMatchedSampler { mu, centered, inv_sqrt_d: 1.0 / (d as f64).sqrt() }
+        MomentMatchedSampler {
+            mu,
+            centered,
+            inv_sqrt_d: 1.0 / (d as f64).sqrt(),
+        }
     }
 
     /// Dimension of each sample (= number of rows of the fitted data).
@@ -64,8 +68,13 @@ impl MomentMatchedSampler {
         let g = normal_vec(rng, self.centered.cols());
         let mut out = self.mu.clone();
         for (r, o) in out.iter_mut().enumerate() {
-            let dot: f64 =
-                self.centered.row(r).iter().zip(&g).map(|(a, b)| a * b).sum();
+            let dot: f64 = self
+                .centered
+                .row(r)
+                .iter()
+                .zip(&g)
+                .map(|(a, b)| a * b)
+                .sum();
             *o += dot * self.inv_sqrt_d;
         }
         out
@@ -116,7 +125,7 @@ mod tests {
         assert_eq!(s.mean(), &[2.5, 10.0, 0.0]);
         let mut rng = StdRng::seed_from_u64(7);
         let k = 4000;
-        let mut sums = vec![0.0; 3];
+        let mut sums = [0.0; 3];
         for _ in 0..k {
             for (acc, v) in sums.iter_mut().zip(s.sample(&mut rng)) {
                 *acc += v;
@@ -130,16 +139,12 @@ mod tests {
 
     #[test]
     fn sampler_matches_covariance_diag() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, -1.0, 1.0, -1.0],
-            vec![0.0, 0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, -1.0, 1.0, -1.0], vec![0.0, 0.0, 0.0, 0.0]]).unwrap();
         // Row 0 centred values ±1 → Σ_00 = 1; row 1 constant → Σ_11 = 0.
         let s = MomentMatchedSampler::fit(&a);
         let mut rng = StdRng::seed_from_u64(3);
         let k = 8000;
-        let mut sq = vec![0.0; 2];
+        let mut sq = [0.0; 2];
         for _ in 0..k {
             let v = s.sample(&mut rng);
             sq[0] += v[0] * v[0];
@@ -147,7 +152,10 @@ mod tests {
         }
         let var0 = sq[0] / k as f64; // mean is 0 for row 0
         assert!((var0 - 1.0).abs() < 0.1, "var0 {var0}");
-        assert!(sq[1] / (k as f64) < 1e-20, "constant row must stay constant");
+        assert!(
+            sq[1] / (k as f64) < 1e-20,
+            "constant row must stay constant"
+        );
     }
 
     #[test]

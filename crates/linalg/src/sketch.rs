@@ -35,7 +35,11 @@ impl CountSketch {
         let signs = (0..n)
             .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
             .collect();
-        CountSketch { rows, targets, signs }
+        CountSketch {
+            rows,
+            targets,
+            signs,
+        }
     }
 
     /// Apply to a matrix: `ΠA` with `A` having one input row per sketch slot.
@@ -76,9 +80,18 @@ impl Osnap {
     pub fn with_sparsity(n: usize, rows: usize, s: usize, seed: u64) -> Self {
         let s = s.max(1);
         let sketches = (0..s)
-            .map(|i| CountSketch::new(n, rows, seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+            .map(|i| {
+                CountSketch::new(
+                    n,
+                    rows,
+                    seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                )
+            })
             .collect();
-        Osnap { sketches, scale: 1.0 / (s as f64).sqrt() }
+        Osnap {
+            sketches,
+            scale: 1.0 / (s as f64).sqrt(),
+        }
     }
 
     /// Paper default: `s = ⌈log₂ n⌉`.
@@ -131,7 +144,9 @@ mod tests {
 
     fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..rows * cols).map(|_| crate::random::standard_normal(&mut rng)).collect();
+        let data = (0..rows * cols)
+            .map(|_| crate::random::standard_normal(&mut rng))
+            .collect();
         Matrix::from_vec(rows, cols, data).unwrap()
     }
 
@@ -157,7 +172,11 @@ mod tests {
             acc += b.data().iter().map(|v| v * v).sum::<f64>();
         }
         let avg = acc / trials as f64;
-        assert!((avg / true_norm - 1.0).abs() < 0.15, "ratio {}", avg / true_norm);
+        assert!(
+            (avg / true_norm - 1.0).abs() < 0.15,
+            "ratio {}",
+            avg / true_norm
+        );
     }
 
     #[test]
@@ -169,7 +188,11 @@ mod tests {
         let os = Osnap::new(500, 256, 11);
         let b = os.apply(&a);
         let got: f64 = b.data().iter().map(|v| v * v).sum();
-        assert!((got / true_norm - 1.0).abs() < 0.5, "ratio {}", got / true_norm);
+        assert!(
+            (got / true_norm - 1.0).abs() < 0.5,
+            "ratio {}",
+            got / true_norm
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@ use crate::{LinalgError, Matrix, Result};
 pub fn cholesky_decompose(a: &Matrix) -> Result<Matrix> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::DimensionMismatch { context: "cholesky: non-square".into() });
+        return Err(LinalgError::DimensionMismatch {
+            context: "cholesky: non-square".into(),
+        });
     }
     let mut l = Matrix::zeros(n, n);
     for i in 0..n {
@@ -45,7 +47,12 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 pub fn cholesky_solve_multi(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.rows() != b.rows() {
         return Err(LinalgError::DimensionMismatch {
-            context: format!("cholesky_solve_multi: {}x{} vs {} rows", a.rows(), a.cols(), b.rows()),
+            context: format!(
+                "cholesky_solve_multi: {}x{} vs {} rows",
+                a.rows(),
+                a.cols(),
+                b.rows()
+            ),
         });
     }
     let l = cholesky_decompose(a)?;
@@ -87,7 +94,9 @@ fn cholesky_back_substitute(l: &Matrix, b: &[f64]) -> Vec<f64> {
 pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::DimensionMismatch { context: "lu_solve: non-square".into() });
+        return Err(LinalgError::DimensionMismatch {
+            context: "lu_solve: non-square".into(),
+        });
     }
     if b.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -105,7 +114,9 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty range");
         if pivot_val < 1e-12 {
-            return Err(LinalgError::NotSolvable(format!("lu: singular at column {col}")));
+            return Err(LinalgError::NotSolvable(format!(
+                "lu: singular at column {col}"
+            )));
         }
         if pivot_row != col {
             for c in 0..n {

@@ -90,7 +90,11 @@ pub fn standardize_columns(m: &mut Matrix) -> Vec<(f64, f64)> {
 /// Apply previously computed (mean, std) pairs to new data (e.g. a holdout
 /// split) so train and test share one scaling.
 pub fn apply_standardization(m: &mut Matrix, params: &[(f64, f64)]) {
-    assert_eq!(params.len(), m.cols(), "apply_standardization: column mismatch");
+    assert_eq!(
+        params.len(),
+        m.cols(),
+        "apply_standardization: column mismatch"
+    );
     for r in 0..m.rows() {
         let row = m.row_mut(r);
         for (v, (mu, sd)) in row.iter_mut().zip(params) {
@@ -132,8 +136,7 @@ mod tests {
 
     #[test]
     fn standardize_produces_zero_mean_unit_var() {
-        let mut m =
-            Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]).unwrap();
+        let mut m = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]).unwrap();
         let params = standardize_columns(&mut m);
         let means = column_means(&m);
         let vars = column_variances(&m);

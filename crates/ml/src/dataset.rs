@@ -65,7 +65,12 @@ impl Dataset {
                 x.cols()
             )));
         }
-        Ok(Dataset { x, y, feature_names, task })
+        Ok(Dataset {
+            x,
+            y,
+            feature_names,
+            task,
+        })
     }
 
     /// Number of samples.
@@ -84,7 +89,10 @@ impl Dataset {
             .x
             .select_columns(cols)
             .map_err(|e| MlError::ShapeMismatch(e.to_string()))?;
-        let names = cols.iter().map(|&c| self.feature_names[c].clone()).collect();
+        let names = cols
+            .iter()
+            .map(|&c| self.feature_names[c].clone())
+            .collect();
         Dataset::new(x, self.y.clone(), names, self.task)
     }
 
@@ -139,12 +147,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let x = Matrix::from_rows(&[
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
         Dataset::new(
             x,
             vec![0.0, 1.0, 1.0],
@@ -157,8 +160,13 @@ mod tests {
     #[test]
     fn validates_shapes() {
         let x = Matrix::zeros(2, 2);
-        assert!(Dataset::new(x.clone(), vec![0.0], vec!["a".into(), "b".into()], Task::Regression)
-            .is_err());
+        assert!(Dataset::new(
+            x.clone(),
+            vec![0.0],
+            vec!["a".into(), "b".into()],
+            Task::Regression
+        )
+        .is_err());
         assert!(Dataset::new(x, vec![0.0, 1.0], vec!["a".into()], Task::Regression).is_err());
     }
 

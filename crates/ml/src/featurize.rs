@@ -10,8 +10,11 @@
 
 use crate::{Dataset, MlError, Result, Task};
 use arda_linalg::Matrix;
-use arda_table::{DataType, Table, Value};
+use arda_table::{Column, ColumnData, DataType, Table};
 use std::collections::HashMap;
+
+/// Cells (rows × columns) below which encoding stays sequential.
+const PAR_MIN_CELLS: usize = 1 << 14;
 
 /// Options controlling featurization.
 #[derive(Debug, Clone)]
@@ -25,7 +28,10 @@ pub struct FeaturizeOptions {
 
 impl Default for FeaturizeOptions {
     fn default() -> Self {
-        FeaturizeOptions { max_categories: 16, drop_all_null: true }
+        FeaturizeOptions {
+            max_categories: 16,
+            drop_all_null: true,
+        }
     }
 }
 
@@ -71,7 +77,11 @@ pub fn featurize(
             let mut y = Vec::with_capacity(n);
             for i in 0..n {
                 let v = target_col.get(i);
-                let label = if v.is_null() { "__null__".to_string() } else { v.to_string() };
+                let label = if v.is_null() {
+                    "__null__".to_string()
+                } else {
+                    v.to_string()
+                };
                 let next = ids.len();
                 let id = *ids.entry(label).or_insert(next);
                 y.push(id as f64);
@@ -82,84 +92,97 @@ pub fn featurize(
     };
 
     // ----- features -----
+    // Each source column encodes independently, so the per-column work runs
+    // through `par_map`; the ordered results are flattened in table column
+    // order, matching the sequential encoding exactly.
+    let feature_cols: Vec<&Column> = table
+        .columns()
+        .iter()
+        .filter(|c| c.name() != target)
+        .collect();
+    let threads = arda_par::threads_for(0, n * feature_cols.len().max(1), PAR_MIN_CELLS);
+    let encoded: Vec<Vec<(String, Vec<f64>)>> =
+        arda_par::par_map(&feature_cols, threads, |_, col| encode_column(col, n, opts));
+
     let mut columns: Vec<Vec<f64>> = Vec::new();
     let mut names: Vec<String> = Vec::new();
+    for (name, vals) in encoded.into_iter().flatten() {
+        names.push(name);
+        columns.push(vals);
+    }
 
-    for col in table.columns() {
-        if col.name() == target {
-            continue;
-        }
-        match col.dtype() {
-            DataType::Str => {
-                // Frequency-ranked one-hot encoding.
-                let mut values: Vec<Option<String>> = Vec::with_capacity(n);
-                for i in 0..n {
-                    match col.get(i) {
-                        Value::Str(s) => values.push(Some(s)),
-                        _ => values.push(None),
+    // Columnar fast path: scatter the per-column buffers straight into the
+    // row-major matrix (no per-cell indirection).
+    let x = Matrix::from_columns(n, &columns).map_err(|e| MlError::ShapeMismatch(e.to_string()))?;
+    Dataset::new(x, y, names, task)
+}
+
+/// Encode one feature column into zero or more named numeric columns,
+/// reading the columnar storage directly (no per-cell [`arda_table::Value`]
+/// boxing).
+fn encode_column(col: &Column, n: usize, opts: &FeaturizeOptions) -> Vec<(String, Vec<f64>)> {
+    match col.data() {
+        ColumnData::Str(values) => {
+            // Frequency-ranked one-hot encoding.
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for v in values.iter().flatten() {
+                *counts.entry(v.as_str()).or_insert(0) += 1;
+            }
+            let mut ranked: Vec<(&str, usize)> = counts.into_iter().collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            let kept: Vec<&str> = ranked
+                .iter()
+                .take(opts.max_categories)
+                .map(|(s, _)| *s)
+                .collect();
+            let has_other = ranked.len() > kept.len();
+            let mut out = Vec::with_capacity(kept.len() + has_other as usize);
+            for cat in &kept {
+                let mut indicator = vec![0.0; n];
+                for (i, v) in values.iter().enumerate() {
+                    if v.as_deref() == Some(*cat) {
+                        indicator[i] = 1.0;
                     }
                 }
-                let mut counts: HashMap<&str, usize> = HashMap::new();
-                for v in values.iter().flatten() {
-                    *counts.entry(v.as_str()).or_insert(0) += 1;
-                }
-                let mut ranked: Vec<(&str, usize)> = counts.into_iter().collect();
-                ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-                let kept: Vec<&str> =
-                    ranked.iter().take(opts.max_categories).map(|(s, _)| *s).collect();
-                let has_other = ranked.len() > kept.len();
-                for cat in &kept {
-                    let mut indicator = vec![0.0; n];
-                    for (i, v) in values.iter().enumerate() {
-                        if v.as_deref() == Some(*cat) {
+                out.push((format!("{}={}", col.name(), cat), indicator));
+            }
+            if has_other {
+                let mut indicator = vec![0.0; n];
+                for (i, v) in values.iter().enumerate() {
+                    if let Some(v) = v.as_deref() {
+                        if !kept.contains(&v) {
                             indicator[i] = 1.0;
                         }
                     }
-                    columns.push(indicator);
-                    names.push(format!("{}={}", col.name(), cat));
                 }
-                if has_other {
-                    let mut indicator = vec![0.0; n];
-                    for (i, v) in values.iter().enumerate() {
-                        if let Some(v) = v.as_deref() {
-                            if !kept.contains(&v) {
-                                indicator[i] = 1.0;
-                            }
-                        }
-                    }
-                    columns.push(indicator);
-                    names.push(format!("{}=__other__", col.name()));
+                out.push((format!("{}=__other__", col.name()), indicator));
+            }
+            out
+        }
+        data => match col.median() {
+            None => {
+                if opts.drop_all_null {
+                    Vec::new()
+                } else {
+                    vec![(col.name().to_string(), vec![0.0; n])]
                 }
             }
-            _ => {
-                let median = col.median();
-                match median {
-                    None => {
-                        if opts.drop_all_null {
-                            continue;
-                        }
-                        columns.push(vec![0.0; n]);
-                        names.push(col.name().to_string());
+            Some(med) => {
+                let vals: Vec<f64> = match data {
+                    ColumnData::Float(v) => v.iter().map(|x| x.unwrap_or(med)).collect(),
+                    ColumnData::Int(v) | ColumnData::Timestamp(v) => {
+                        v.iter().map(|x| x.map_or(med, |x| x as f64)).collect()
                     }
-                    Some(med) => {
-                        let vals =
-                            (0..n).map(|i| col.get_f64(i).unwrap_or(med)).collect();
-                        columns.push(vals);
-                        names.push(col.name().to_string());
-                    }
-                }
+                    ColumnData::Bool(v) => v
+                        .iter()
+                        .map(|x| x.map_or(med, |b| if b { 1.0 } else { 0.0 }))
+                        .collect(),
+                    ColumnData::Str(_) => unreachable!("handled above"),
+                };
+                vec![(col.name().to_string(), vals)]
             }
-        }
+        },
     }
-
-    let d = columns.len();
-    let mut x = Matrix::zeros(n, d);
-    for (c, colvals) in columns.iter().enumerate() {
-        for (r, &v) in colvals.iter().enumerate() {
-            x.set(r, c, v);
-        }
-    }
-    Dataset::new(x, y, names, task)
 }
 
 #[cfg(test)]
@@ -236,7 +259,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let opts = FeaturizeOptions { max_categories: 2, drop_all_null: true };
+        let opts = FeaturizeOptions {
+            max_categories: 2,
+            drop_all_null: true,
+        };
         let d = featurize(&t, "y", false, &opts).unwrap();
         assert!(d.feature_names.iter().any(|n| n == "c=__other__"));
         // a (2×) kept; one of b/c/d kept; rest in other.
@@ -255,7 +281,10 @@ mod tests {
         .unwrap();
         let d = featurize(&t, "y", false, &FeaturizeOptions::default()).unwrap();
         assert_eq!(d.n_features(), 0);
-        let opts = FeaturizeOptions { drop_all_null: false, ..Default::default() };
+        let opts = FeaturizeOptions {
+            drop_all_null: false,
+            ..Default::default()
+        };
         let d2 = featurize(&t, "y", false, &opts).unwrap();
         assert_eq!(d2.n_features(), 1);
     }

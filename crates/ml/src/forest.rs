@@ -11,6 +11,9 @@ use arda_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Row·tree product below which `predict` stays sequential.
+const PAR_MIN_PREDICTIONS: usize = 1 << 12;
+
 /// Forest hyper-parameters.
 #[derive(Debug, Clone)]
 pub struct ForestConfig {
@@ -29,7 +32,8 @@ pub struct ForestConfig {
     pub bootstrap: bool,
     /// Master RNG seed.
     pub seed: u64,
-    /// Worker threads (1 = sequential).
+    /// Worker threads: `0` = the `arda-par` global default (`ARDA_THREADS`),
+    /// `1` = sequential, otherwise an explicit count.
     pub n_threads: usize,
 }
 
@@ -43,7 +47,7 @@ impl Default for ForestConfig {
             max_features: None,
             bootstrap: true,
             seed: 0,
-            n_threads: 4,
+            n_threads: 0,
         }
     }
 }
@@ -68,7 +72,11 @@ impl RandomForest {
             return Err(MlError::Invalid("empty training set or zero trees".into()));
         }
         if x.rows() != y.len() {
-            return Err(MlError::ShapeMismatch(format!("{} rows vs {} labels", x.rows(), y.len())));
+            return Err(MlError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                x.rows(),
+                y.len()
+            )));
         }
         let max_features = cfg.max_features.unwrap_or(match task {
             Task::Classification { .. } => MaxFeatures::Sqrt,
@@ -93,7 +101,9 @@ impl RandomForest {
             .collect();
 
         let fit_one = |seed: u64, rows: &[usize]| -> Result<DecisionTree> {
-            let xs = x.select_rows(rows).map_err(|e| MlError::ShapeMismatch(e.to_string()))?;
+            let xs = x
+                .select_rows(rows)
+                .map_err(|e| MlError::ShapeMismatch(e.to_string()))?;
             let ys: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
             let tree_cfg = TreeConfig {
                 max_depth: cfg.max_depth,
@@ -105,31 +115,13 @@ impl RandomForest {
             DecisionTree::fit_xy(&xs, &ys, task, &tree_cfg)
         };
 
-        let threads = cfg.n_threads.max(1).min(cfg.n_trees);
-        let trees: Vec<DecisionTree> = if threads == 1 {
-            jobs.iter()
-                .map(|(s, rows)| fit_one(*s, rows))
-                .collect::<Result<_>>()?
-        } else {
-            let chunks: Vec<&[(u64, Vec<usize>)]> =
-                jobs.chunks(jobs.len().div_ceil(threads)).collect();
-            let results: Vec<Result<Vec<DecisionTree>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk.iter().map(|(s, rows)| fit_one(*s, rows)).collect()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("tree fit panicked")).collect()
-            });
-            let mut trees = Vec::with_capacity(cfg.n_trees);
-            for r in results {
-                trees.extend(r?);
-            }
-            trees
-        };
+        // Every tree is fully determined by its pre-drawn (seed, rows) job,
+        // so `par_map`'s ordered results are identical at any thread count.
+        let threads = arda_par::resolve_threads(cfg.n_threads).min(cfg.n_trees);
+        let trees: Vec<DecisionTree> =
+            arda_par::par_map(&jobs, threads, |_, (s, rows)| fit_one(*s, rows))
+                .into_iter()
+                .collect::<Result<_>>()?;
 
         // Mean impurity decrease, normalised to sum to 1 (when non-zero).
         let mut importances = vec![0.0; x.cols()];
@@ -143,13 +135,21 @@ impl RandomForest {
             importances.iter_mut().for_each(|v| *v /= total);
         }
 
-        Ok(RandomForest { trees, task, importances })
+        Ok(RandomForest {
+            trees,
+            task,
+            importances,
+        })
     }
 
-    /// Predict rows of `x` (majority vote / mean over trees).
+    /// Predict rows of `x` (majority vote / mean over trees), fanning out
+    /// over trees for prediction workloads large enough to amortise the
+    /// thread spawn.
     pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
-        let per_tree: Vec<Vec<f64>> =
-            self.trees.iter().map(|t| t.predict(x)).collect::<Result<_>>()?;
+        let threads = arda_par::threads_for(0, x.rows() * self.trees.len(), PAR_MIN_PREDICTIONS);
+        let per_tree: Vec<Vec<f64>> = arda_par::par_map(&self.trees, threads, |_, t| t.predict(x))
+            .into_iter()
+            .collect::<Result<_>>()?;
         let n = x.rows();
         match self.task {
             Task::Regression => {
@@ -231,8 +231,14 @@ mod tests {
     #[test]
     fn separable_blobs_fit_perfectly() {
         let d = classification_blob(200, 1);
-        let rf = RandomForest::fit(&d, &ForestConfig { n_trees: 16, ..Default::default() })
-            .unwrap();
+        let rf = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let preds = rf.predict(&d.x).unwrap();
         let correct = preds.iter().zip(&d.y).filter(|(p, y)| p == y).count();
         assert!(correct as f64 / d.n_samples() as f64 > 0.97);
@@ -242,8 +248,14 @@ mod tests {
     #[test]
     fn importances_identify_signal() {
         let d = classification_blob(300, 2);
-        let rf = RandomForest::fit(&d, &ForestConfig { n_trees: 32, ..Default::default() })
-            .unwrap();
+        let rf = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 32,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let imp = rf.importances();
         assert!(imp[0] > imp[1] * 3.0, "signal {} noise {}", imp[0], imp[1]);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -259,7 +271,10 @@ mod tests {
             &x,
             &y,
             Task::Regression,
-            &ForestConfig { n_trees: 32, ..Default::default() },
+            &ForestConfig {
+                n_trees: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
         let test = Matrix::from_rows(&[vec![5.0]]).unwrap();
@@ -270,11 +285,19 @@ mod tests {
     #[test]
     fn deterministic_given_seed_regardless_of_threads() {
         let d = classification_blob(120, 4);
-        let base = ForestConfig { n_trees: 8, seed: 9, n_threads: 1, ..Default::default() };
+        let base = ForestConfig {
+            n_trees: 8,
+            seed: 9,
+            n_threads: 1,
+            ..Default::default()
+        };
         let rf1 = RandomForest::fit(&d, &base).unwrap();
         let rf2 = RandomForest::fit(
             &d,
-            &ForestConfig { n_threads: 4, ..base },
+            &ForestConfig {
+                n_threads: 4,
+                ..base
+            },
         )
         .unwrap();
         assert_eq!(rf1.predict(&d.x).unwrap(), rf2.predict(&d.x).unwrap());
@@ -286,11 +309,20 @@ mod tests {
         let d = classification_blob(10, 5);
         assert!(RandomForest::fit(
             &d,
-            &ForestConfig { n_trees: 0, ..Default::default() }
+            &ForestConfig {
+                n_trees: 0,
+                ..Default::default()
+            }
         )
         .is_err());
-        let rf = RandomForest::fit(&d, &ForestConfig { n_trees: 2, ..Default::default() })
-            .unwrap();
+        let rf = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(rf.predict(&Matrix::zeros(1, 7)).is_err());
     }
 }

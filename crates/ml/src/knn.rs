@@ -1,7 +1,13 @@
 //! k-nearest-neighbour queries (linear scan), used by the Relief feature
-//! selector's nearest-hit/nearest-miss searches.
+//! selector's nearest-hit/nearest-miss searches. The distance scan runs in
+//! parallel row bands for large matrices; candidate order (and therefore
+//! the tie-break) is identical to the sequential scan at any thread count.
 
 use arda_linalg::Matrix;
+
+/// Row count below which the scan stays sequential (thread spawn would
+/// dominate the distance arithmetic).
+const PAR_MIN_ROWS: usize = 2_048;
 
 /// Squared Euclidean distance between two rows.
 #[inline]
@@ -18,13 +24,29 @@ pub fn nearest_neighbors(
     x: &Matrix,
     query: usize,
     k: usize,
-    mut filter: impl FnMut(usize) -> bool,
+    filter: impl Fn(usize) -> bool + Sync,
+) -> Vec<usize> {
+    nearest_neighbors_threads(x, query, k, filter, 0)
+}
+
+/// [`nearest_neighbors`] with an explicit worker cap (`0` = automatic).
+/// Callers already running many scans concurrently (Relief's anchor loop)
+/// pin this to 1 to avoid nesting parallelism.
+pub fn nearest_neighbors_threads(
+    x: &Matrix,
+    query: usize,
+    k: usize,
+    filter: impl Fn(usize) -> bool + Sync,
+    threads: usize,
 ) -> Vec<usize> {
     let q = x.row(query);
-    let mut candidates: Vec<(f64, usize)> = (0..x.rows())
-        .filter(|&i| i != query && filter(i))
-        .map(|i| (sq_dist(q, x.row(i)), i))
-        .collect();
+    let threads = arda_par::threads_for(threads, x.rows(), PAR_MIN_ROWS);
+    let mut candidates: Vec<(f64, usize)> = arda_par::par_for_rows(x.rows(), threads, |range| {
+        range
+            .filter(|&i| i != query && filter(i))
+            .map(|i| (sq_dist(q, x.row(i)), i))
+            .collect()
+    });
     candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     candidates.truncate(k);
     candidates.into_iter().map(|(_, i)| i).collect()
@@ -77,5 +99,23 @@ mod tests {
     fn sq_dist_basic() {
         assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn large_scan_matches_sequential_order() {
+        // Above the parallel threshold; ties broken by index exactly as in
+        // the sequential scan.
+        let rows: Vec<Vec<f64>> = (0..3_000)
+            .map(|i| vec![(i % 7) as f64, ((i * 13) % 5) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let nn = nearest_neighbors(&x, 0, 10, |_| true);
+        // Sequential reference.
+        let q = x.row(0);
+        let mut expect: Vec<(f64, usize)> =
+            (1..x.rows()).map(|i| (sq_dist(q, x.row(i)), i)).collect();
+        expect.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let expect: Vec<usize> = expect.into_iter().take(10).map(|(_, i)| i).collect();
+        assert_eq!(nn, expect);
     }
 }

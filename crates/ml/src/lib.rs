@@ -21,6 +21,10 @@
 //! * [`Model`] — a uniform fit/predict interface over all of the above, used
 //!   by feature-selection wrappers and the AutoML-lite comparator.
 
+// Numeric kernels below index several arrays with one loop variable;
+// iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 pub mod dataset;
 pub mod featurize;
 pub mod forest;
@@ -35,7 +39,7 @@ pub mod tree;
 pub use dataset::{Dataset, Task};
 pub use featurize::{featurize, FeaturizeOptions};
 pub use forest::{ForestConfig, RandomForest};
-pub use knn::nearest_neighbors;
+pub use knn::{nearest_neighbors, nearest_neighbors_threads};
 pub use linear::{Lasso, LinearSvm, LogisticRegression, Ridge};
 pub use model::{score_for_task, Model, ModelKind};
 pub use split::{kfold_indices, stratified_split, train_test_split};

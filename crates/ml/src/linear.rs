@@ -16,7 +16,11 @@ fn check_fit_shapes(x: &Matrix, y: &[f64]) -> Result<()> {
         return Err(MlError::Invalid("empty training set".into()));
     }
     if x.rows() != y.len() {
-        return Err(MlError::ShapeMismatch(format!("{} rows vs {} labels", x.rows(), y.len())));
+        return Err(MlError::ShapeMismatch(format!(
+            "{} rows vs {} labels",
+            x.rows(),
+            y.len()
+        )));
     }
     Ok(())
 }
@@ -35,7 +39,12 @@ pub struct Ridge {
 impl Ridge {
     /// New un-fitted model.
     pub fn new(lambda: f64) -> Self {
-        Ridge { lambda, weights: Vec::new(), intercept: 0.0, scaling: Vec::new() }
+        Ridge {
+            lambda,
+            weights: Vec::new(),
+            intercept: 0.0,
+            scaling: Vec::new(),
+        }
     }
 
     /// Fit on `x`, `y`.
@@ -61,8 +70,7 @@ impl Ridge {
                 *acc += v * yv;
             }
         }
-        self.weights =
-            cholesky_solve(&gram, &rhs).map_err(|e| MlError::Invalid(e.to_string()))?;
+        self.weights = cholesky_solve(&gram, &rhs).map_err(|e| MlError::Invalid(e.to_string()))?;
         self.intercept = y_mean;
         Ok(())
     }
@@ -84,7 +92,11 @@ impl Ridge {
         Ok((0..xs.rows())
             .map(|r| {
                 self.intercept
-                    + xs.row(r).iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
+                    + xs.row(r)
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
             })
             .collect())
     }
@@ -113,7 +125,14 @@ pub struct Lasso {
 impl Lasso {
     /// New un-fitted model.
     pub fn new(alpha: f64) -> Self {
-        Lasso { alpha, max_iter: 300, tol: 1e-6, weights: Vec::new(), intercept: 0.0, scaling: Vec::new() }
+        Lasso {
+            alpha,
+            max_iter: 300,
+            tol: 1e-6,
+            weights: Vec::new(),
+            intercept: 0.0,
+            scaling: Vec::new(),
+        }
     }
 
     /// Fit on `x`, `y`.
@@ -128,8 +147,10 @@ impl Lasso {
 
         // Column views for fast coordinate updates.
         let cols: Vec<Vec<f64>> = (0..d).map(|c| xs.col(c)).collect();
-        let col_sq: Vec<f64> =
-            cols.iter().map(|c| c.iter().map(|v| v * v).sum::<f64>() / n as f64).collect();
+        let col_sq: Vec<f64> = cols
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum::<f64>() / n as f64)
+            .collect();
 
         let mut w = vec![0.0; d];
         let mut residual = yc.clone();
@@ -187,7 +208,11 @@ impl Lasso {
         Ok((0..xs.rows())
             .map(|r| {
                 self.intercept
-                    + xs.row(r).iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
+                    + xs.row(r)
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
             })
             .collect())
     }
@@ -234,7 +259,9 @@ impl LogisticRegression {
     pub fn fit(&mut self, x: &Matrix, y: &[f64], n_classes: usize) -> Result<()> {
         check_fit_shapes(x, y)?;
         if n_classes < 2 {
-            return Err(MlError::Invalid("logistic regression needs ≥2 classes".into()));
+            return Err(MlError::Invalid(
+                "logistic regression needs ≥2 classes".into(),
+            ));
         }
         let n = x.rows();
         let d = x.cols();
@@ -252,8 +279,11 @@ impl LogisticRegression {
             let targets: Vec<f64> = y
                 .iter()
                 .map(|&v| {
-                    let positive =
-                        if n_classes == 2 { v >= 1.0 } else { (v as usize) == cls };
+                    let positive = if n_classes == 2 {
+                        v >= 1.0
+                    } else {
+                        (v as usize) == cls
+                    };
                     if positive {
                         1.0
                     } else {
@@ -267,8 +297,7 @@ impl LogisticRegression {
                 let mut grad_w = vec![0.0; d];
                 let mut grad_b = 0.0;
                 for r in 0..n {
-                    let z: f64 =
-                        b + xs.row(r).iter().zip(&w).map(|(a, c)| a * c).sum::<f64>();
+                    let z: f64 = b + xs.row(r).iter().zip(&w).map(|(a, c)| a * c).sum::<f64>();
                     let p = 1.0 / (1.0 + (-z).exp());
                     let err = p - targets[r];
                     for (g, v) in grad_w.iter_mut().zip(xs.row(r)) {
@@ -302,7 +331,11 @@ impl LogisticRegression {
         for r in 0..xs.rows() {
             if self.n_classes == 2 {
                 let z: f64 = self.intercepts[0]
-                    + xs.row(r).iter().zip(&self.weights[0]).map(|(a, b)| a * b).sum::<f64>();
+                    + xs.row(r)
+                        .iter()
+                        .zip(&self.weights[0])
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>();
                 out.push(if z >= 0.0 { 1.0 } else { 0.0 });
             } else {
                 let best = (0..self.weights.len())
@@ -387,8 +420,11 @@ impl LinearSvm {
             let targets: Vec<f64> = y
                 .iter()
                 .map(|&v| {
-                    let positive =
-                        if n_classes == 2 { v >= 1.0 } else { (v as usize) == cls };
+                    let positive = if n_classes == 2 {
+                        v >= 1.0
+                    } else {
+                        (v as usize) == cls
+                    };
                     if positive {
                         1.0
                     } else {
@@ -437,7 +473,11 @@ impl LinearSvm {
         for r in 0..xs.rows() {
             if self.n_classes == 2 {
                 let z: f64 = self.intercepts[0]
-                    + xs.row(r).iter().zip(&self.weights[0]).map(|(a, b)| a * b).sum::<f64>();
+                    + xs.row(r)
+                        .iter()
+                        .zip(&self.weights[0])
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>();
                 out.push(if z >= 0.0 { 1.0 } else { 0.0 });
             } else {
                 let best = (0..self.weights.len())
@@ -477,8 +517,9 @@ mod tests {
 
     fn linear_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| vec![rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 1.0 * r[1] + 0.5).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
@@ -523,7 +564,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let rows: Vec<Vec<f64>> = (0..200)
             .map(|_| {
-                vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]
+                vec![
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]
             })
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0]).collect();
@@ -532,7 +577,10 @@ mod tests {
         m.fit(&x, &y).unwrap();
         let w = m.coefficients();
         assert!(w[0].abs() > 1.0, "signal kept: {w:?}");
-        assert!(w[1].abs() < 1e-6 && w[2].abs() < 1e-6, "noise zeroed: {w:?}");
+        assert!(
+            w[1].abs() < 1e-6 && w[2].abs() < 1e-6,
+            "noise zeroed: {w:?}"
+        );
     }
 
     #[test]
@@ -541,8 +589,12 @@ mod tests {
         let mut m = Lasso::new(0.01);
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x).unwrap();
-        let mse: f64 =
-            preds.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let mse: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mse < 0.1, "mse {mse}");
     }
 
@@ -555,7 +607,10 @@ mod tests {
         let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "acc {acc}");
         let mags = m.coefficient_magnitudes();
-        assert!(mags[0] > mags[1], "signal feature should dominate: {mags:?}");
+        assert!(
+            mags[0] > mags[1],
+            "signal feature should dominate: {mags:?}"
+        );
     }
 
     #[test]
@@ -589,9 +644,18 @@ mod tests {
     #[test]
     fn not_fitted_errors() {
         let x = Matrix::zeros(1, 2);
-        assert!(matches!(Ridge::new(1.0).predict(&x), Err(MlError::NotFitted)));
-        assert!(matches!(LogisticRegression::new(1.0).predict(&x), Err(MlError::NotFitted)));
-        assert!(matches!(LinearSvm::new(1.0).predict(&x), Err(MlError::NotFitted)));
+        assert!(matches!(
+            Ridge::new(1.0).predict(&x),
+            Err(MlError::NotFitted)
+        ));
+        assert!(matches!(
+            LogisticRegression::new(1.0).predict(&x),
+            Err(MlError::NotFitted)
+        ));
+        assert!(matches!(
+            LinearSvm::new(1.0).predict(&x),
+            Err(MlError::NotFitted)
+        ));
     }
 
     #[test]

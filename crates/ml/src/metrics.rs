@@ -24,9 +24,21 @@ pub fn macro_f1(pred: &[f64], truth: &[f64], n_classes: usize) -> f64 {
     let mut present = 0usize;
     for c in 0..n_classes {
         let c = c as f64;
-        let tp = pred.iter().zip(truth).filter(|(p, t)| **p == c && **t == c).count() as f64;
-        let fp = pred.iter().zip(truth).filter(|(p, t)| **p == c && **t != c).count() as f64;
-        let fn_ = pred.iter().zip(truth).filter(|(p, t)| **p != c && **t == c).count() as f64;
+        let tp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t == c)
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t != c)
+            .count() as f64;
+        let fn_ = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p != c && **t == c)
+            .count() as f64;
         if tp + fn_ == 0.0 {
             continue; // class absent from truth
         }
@@ -51,7 +63,11 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Root mean squared error.
@@ -60,7 +76,12 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    (pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64)
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
         .sqrt()
 }
 

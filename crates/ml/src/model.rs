@@ -57,7 +57,10 @@ pub enum ModelKind {
 impl ModelKind {
     /// The paper's default estimator: a lightly tuned random forest.
     pub fn default_forest() -> Self {
-        ModelKind::RandomForest { n_trees: 64, max_depth: 12 }
+        ModelKind::RandomForest {
+            n_trees: 64,
+            max_depth: 12,
+        }
     }
 
     /// True when this model kind can be fitted for `task`.
@@ -65,24 +68,35 @@ impl ModelKind {
         match self {
             ModelKind::RandomForest { .. } | ModelKind::DecisionTree { .. } => true,
             ModelKind::Ridge { .. } | ModelKind::Lasso { .. } => !task.is_classification(),
-            ModelKind::Logistic { .. }
-            | ModelKind::LinearSvm { .. }
-            | ModelKind::RbfSvm { .. } => task.is_classification(),
+            ModelKind::Logistic { .. } | ModelKind::LinearSvm { .. } | ModelKind::RbfSvm { .. } => {
+                task.is_classification()
+            }
         }
     }
 
     /// Fit this configuration on `(x, y)`.
     pub fn fit(&self, x: &Matrix, y: &[f64], task: Task, seed: u64) -> Result<Model> {
         if !self.supports(task) {
-            return Err(MlError::Invalid(format!("{self:?} does not support {task:?}")));
+            return Err(MlError::Invalid(format!(
+                "{self:?} does not support {task:?}"
+            )));
         }
         match *self {
             ModelKind::RandomForest { n_trees, max_depth } => {
-                let cfg = ForestConfig { n_trees, max_depth, seed, ..Default::default() };
+                let cfg = ForestConfig {
+                    n_trees,
+                    max_depth,
+                    seed,
+                    ..Default::default()
+                };
                 Ok(Model::RandomForest(RandomForest::fit_xy(x, y, task, &cfg)?))
             }
             ModelKind::DecisionTree { max_depth } => {
-                let cfg = TreeConfig { max_depth, seed, ..Default::default() };
+                let cfg = TreeConfig {
+                    max_depth,
+                    seed,
+                    ..Default::default()
+                };
                 Ok(Model::DecisionTree(DecisionTree::fit_xy(x, y, task, &cfg)?))
             }
             ModelKind::Ridge { lambda } => {
@@ -107,7 +121,11 @@ impl ModelKind {
                 Ok(Model::LinearSvm(m))
             }
             ModelKind::RbfSvm { c } => {
-                let mut m = RbfSvm::new(SvmConfig { c, seed, ..Default::default() });
+                let mut m = RbfSvm::new(SvmConfig {
+                    c,
+                    seed,
+                    ..Default::default()
+                });
                 m.fit(x, y, task.n_classes())?;
                 Ok(Model::RbfSvm(Box::new(m)))
             }
@@ -197,8 +215,13 @@ mod tests {
     fn toy_regression() -> Dataset {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64 + 1.0).collect();
-        Dataset::new(Matrix::from_rows(&rows).unwrap(), y, vec!["f".into()], Task::Regression)
-            .unwrap()
+        Dataset::new(
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            vec!["f".into()],
+            Task::Regression,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -215,7 +238,10 @@ mod tests {
     fn every_classification_model_fits_and_predicts() {
         let d = toy_classification();
         for kind in [
-            ModelKind::RandomForest { n_trees: 8, max_depth: 6 },
+            ModelKind::RandomForest {
+                n_trees: 8,
+                max_depth: 6,
+            },
             ModelKind::DecisionTree { max_depth: 6 },
             ModelKind::Logistic { lambda: 1e-3 },
             ModelKind::LinearSvm { lambda: 0.01 },
@@ -232,7 +258,10 @@ mod tests {
     fn every_regression_model_fits_and_predicts() {
         let d = toy_regression();
         for kind in [
-            ModelKind::RandomForest { n_trees: 8, max_depth: 10 },
+            ModelKind::RandomForest {
+                n_trees: 8,
+                max_depth: 10,
+            },
             ModelKind::DecisionTree { max_depth: 10 },
             ModelKind::Ridge { lambda: 1e-6 },
             ModelKind::Lasso { alpha: 0.01 },
@@ -247,15 +276,23 @@ mod tests {
     #[test]
     fn unsupported_task_errors() {
         let d = toy_regression();
-        assert!(ModelKind::Logistic { lambda: 1.0 }.fit(&d.x, &d.y, d.task, 0).is_err());
+        assert!(ModelKind::Logistic { lambda: 1.0 }
+            .fit(&d.x, &d.y, d.task, 0)
+            .is_err());
     }
 
     #[test]
     fn holdout_score_runs() {
         let d = toy_classification();
         let (train, test) = crate::split::train_test_split(d.n_samples(), 0.3, 0);
-        let s = holdout_score(&d, &ModelKind::DecisionTree { max_depth: 4 }, &train, &test, 0)
-            .unwrap();
+        let s = holdout_score(
+            &d,
+            &ModelKind::DecisionTree { max_depth: 4 },
+            &train,
+            &test,
+            0,
+        )
+        .unwrap();
         assert!(s > 0.9, "score {s}");
     }
 

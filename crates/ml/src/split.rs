@@ -22,11 +22,7 @@ pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>,
 
 /// Label-stratified split: each class contributes ~`test_fraction` of its
 /// rows to the test side, so rare classes are never absent from either side.
-pub fn stratified_split(
-    labels: &[f64],
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn stratified_split(labels: &[f64], test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     let mut by_class: HashMap<i64, Vec<usize>> = HashMap::new();
     for (i, &y) in labels.iter().enumerate() {
         by_class.entry(y as i64).or_default().push(i);
@@ -68,8 +64,12 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usiz
     (0..k)
         .map(|f| {
             let val = folds[f].clone();
-            let train: Vec<usize> =
-                folds.iter().enumerate().filter(|(i, _)| *i != f).flat_map(|(_, v)| v.iter().copied()).collect();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
             (train, val)
         })
         .collect()
@@ -102,14 +102,16 @@ mod tests {
     #[test]
     fn split_deterministic_per_seed() {
         assert_eq!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 7));
-        assert_ne!(train_test_split(50, 0.2, 7).1, train_test_split(50, 0.2, 8).1);
+        assert_ne!(
+            train_test_split(50, 0.2, 7).1,
+            train_test_split(50, 0.2, 8).1
+        );
     }
 
     #[test]
     fn stratified_preserves_class_presence() {
         // 90 of class 0, 10 of class 1.
-        let labels: Vec<f64> =
-            (0..100).map(|i| if i < 90 { 0.0 } else { 1.0 }).collect();
+        let labels: Vec<f64> = (0..100).map(|i| if i < 90 { 0.0 } else { 1.0 }).collect();
         let (train, test) = stratified_split(&labels, 0.2, 1);
         let count = |rows: &[usize], c: f64| rows.iter().filter(|&&i| labels[i] == c).count();
         assert!(count(&test, 1.0) >= 1, "rare class must appear in test");

@@ -30,7 +30,14 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        SvmConfig { c: 1.0, gamma: None, tol: 1e-3, max_passes: 3, max_iter: 2000, seed: 0 }
+        SvmConfig {
+            c: 1.0,
+            gamma: None,
+            tol: 1e-3,
+            max_passes: 3,
+            max_iter: 2000,
+            seed: 0,
+        }
     }
 }
 
@@ -78,7 +85,11 @@ impl RbfSvm {
             return Err(MlError::Invalid("empty training set".into()));
         }
         if x.rows() != y.len() {
-            return Err(MlError::ShapeMismatch(format!("{} rows vs {} labels", x.rows(), y.len())));
+            return Err(MlError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                x.rows(),
+                y.len()
+            )));
         }
         if n_classes < 2 {
             return Err(MlError::Invalid("svm needs ≥2 classes".into()));
@@ -95,8 +106,11 @@ impl RbfSvm {
             let targets: Vec<f64> = y
                 .iter()
                 .map(|&v| {
-                    let positive =
-                        if n_classes == 2 { v >= 1.0 } else { (v as usize) == cls };
+                    let positive = if n_classes == 2 {
+                        v >= 1.0
+                    } else {
+                        (v as usize) == cls
+                    };
                     if positive {
                         1.0
                     } else {
@@ -211,8 +225,11 @@ impl RbfSvm {
 
     fn decision(&self, head: &BinaryHead, row: &[f64]) -> f64 {
         let mut s = head.bias;
-        for ((&sv, &a), &t) in
-            head.support_rows.iter().zip(&head.alphas).zip(&head.targets)
+        for ((&sv, &a), &t) in head
+            .support_rows
+            .iter()
+            .zip(&head.alphas)
+            .zip(&head.targets)
         {
             s += a * t * self.kernel(self.train_x.row(sv), row);
         }
@@ -267,7 +284,11 @@ mod tests {
         let mut y = Vec::with_capacity(n);
         for i in 0..n {
             let cls = (i % 2) as f64;
-            let radius = if cls == 0.0 { rng.gen_range(0.0..0.8) } else { rng.gen_range(2.0..3.0) };
+            let radius = if cls == 0.0 {
+                rng.gen_range(0.0..0.8)
+            } else {
+                rng.gen_range(2.0..3.0)
+            };
             let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             rows.push(vec![radius * theta.cos(), radius * theta.sin()]);
             y.push(cls);
@@ -278,7 +299,10 @@ mod tests {
     #[test]
     fn separates_rings() {
         let (x, y) = ring_data(150, 0);
-        let mut svm = RbfSvm::new(SvmConfig { c: 5.0, ..Default::default() });
+        let mut svm = RbfSvm::new(SvmConfig {
+            c: 5.0,
+            ..Default::default()
+        });
         svm.fit(&x, &y, 2).unwrap();
         let preds = svm.predict(&x).unwrap();
         let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
@@ -293,7 +317,10 @@ mod tests {
         for i in 0..120 {
             let cls = i % 3;
             let offset = cls as f64 * 5.0;
-            rows.push(vec![offset + (i as f64 * 0.37).sin() * 0.3, (i as f64 * 0.73).cos() * 0.3]);
+            rows.push(vec![
+                offset + (i as f64 * 0.37).sin() * 0.3,
+                (i as f64 * 0.73).cos() * 0.3,
+            ]);
             y.push(cls as f64);
         }
         let x = Matrix::from_rows(&rows).unwrap();
@@ -307,7 +334,10 @@ mod tests {
     #[test]
     fn error_paths() {
         let mut svm = RbfSvm::new(SvmConfig::default());
-        assert!(matches!(svm.predict(&Matrix::zeros(1, 1)), Err(MlError::NotFitted)));
+        assert!(matches!(
+            svm.predict(&Matrix::zeros(1, 1)),
+            Err(MlError::NotFitted)
+        ));
         assert!(svm.fit(&Matrix::zeros(0, 1), &[], 2).is_err());
         assert!(svm.fit(&Matrix::zeros(2, 1), &[0.0, 1.0], 1).is_err());
         assert!(svm.fit(&Matrix::zeros(2, 1), &[0.0], 2).is_err());
@@ -316,9 +346,15 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = ring_data(80, 3);
-        let mut a = RbfSvm::new(SvmConfig { seed: 1, ..Default::default() });
+        let mut a = RbfSvm::new(SvmConfig {
+            seed: 1,
+            ..Default::default()
+        });
         a.fit(&x, &y, 2).unwrap();
-        let mut b = RbfSvm::new(SvmConfig { seed: 1, ..Default::default() });
+        let mut b = RbfSvm::new(SvmConfig {
+            seed: 1,
+            ..Default::default()
+        });
         b.fit(&x, &y, 2).unwrap();
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
     }

@@ -105,7 +105,11 @@ impl DecisionTree {
             return Err(MlError::Invalid("empty training set".into()));
         }
         if x.rows() != y.len() {
-            return Err(MlError::ShapeMismatch(format!("{} rows vs {} labels", x.rows(), y.len())));
+            return Err(MlError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                x.rows(),
+                y.len()
+            )));
         }
         let mut b = Builder {
             x,
@@ -133,8 +137,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { prediction } => return *prediction,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -191,13 +204,17 @@ impl Builder<'_> {
                 if left.len() >= self.cfg.min_samples_leaf
                     && right.len() >= self.cfg.min_samples_leaf
                 {
-                    self.importances[feature] +=
-                        gain * indices.len() as f64 / self.n_total as f64;
+                    self.importances[feature] += gain * indices.len() as f64 / self.n_total as f64;
                     let id = self.nodes.len();
                     self.nodes.push(Node::Leaf { prediction: 0.0 }); // placeholder
                     let l = self.build(&mut left, depth + 1);
                     let r = self.build(&mut right, depth + 1);
-                    self.nodes[id] = Node::Split { feature, threshold, left: l, right: r };
+                    self.nodes[id] = Node::Split {
+                        feature,
+                        threshold,
+                        left: l,
+                        right: r,
+                    };
                     return id;
                 }
             }
@@ -237,7 +254,11 @@ impl Builder<'_> {
                     return 0.0;
                 }
                 let mean = indices.iter().map(|&i| self.y[i]).sum::<f64>() / n;
-                indices.iter().map(|&i| (self.y[i] - mean).powi(2)).sum::<f64>() / n
+                indices
+                    .iter()
+                    .map(|&i| (self.y[i] - mean).powi(2))
+                    .sum::<f64>()
+                    / n
             }
             Task::Classification { n_classes } => {
                 let n = indices.len() as f64;
@@ -308,7 +329,7 @@ impl Builder<'_> {
                         let gain = parent_impurity - (nl / n) * var_l - (nr / n) * var_r;
                         // Zero-gain splits are allowed on impure nodes (XOR
                         // needs them); ties keep the first candidate.
-                        if best.map_or(true, |b| gain > b.2) && gain >= -1e-12 {
+                        if best.is_none_or(|b| gain > b.2) && gain >= -1e-12 {
                             best = Some((f, (v_prev + v_cur) / 2.0, gain.max(0.0)));
                         }
                     }
@@ -344,7 +365,7 @@ impl Builder<'_> {
                             total.iter().zip(&left).map(|(t, l)| t - l).collect();
                         let gini_r = gini(&right, nr);
                         let gain = parent_impurity - (nl / n) * gini_l - (nr / n) * gini_r;
-                        if best.map_or(true, |b| gain > b.2) && gain >= -1e-12 {
+                        if best.is_none_or(|b| gain > b.2) && gain >= -1e-12 {
                             best = Some((f, (v_prev + v_cur) / 2.0, gain.max(0.0)));
                         }
                     }
@@ -373,8 +394,13 @@ mod tests {
         ])
         .unwrap();
         let y = vec![0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0];
-        Dataset::new(x, y, vec!["a".into(), "b".into()], Task::Classification { n_classes: 2 })
-            .unwrap()
+        Dataset::new(
+            x,
+            y,
+            vec!["a".into(), "b".into()],
+            Task::Classification { n_classes: 2 },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -408,7 +434,10 @@ mod tests {
     #[test]
     fn depth_zero_is_single_leaf() {
         let d = xor_dataset();
-        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&d, &cfg).unwrap();
         assert_eq!(tree.n_nodes(), 1);
         // Majority class of a balanced XOR set is class 0 (tie broken by max_by_key keeping last max? ensure deterministic)
@@ -442,7 +471,10 @@ mod tests {
     fn min_samples_leaf_respected() {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
         let y = vec![0.0, 0.0, 1.0, 1.0];
-        let cfg = TreeConfig { min_samples_leaf: 3, ..Default::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 3,
+            ..Default::default()
+        };
         let tree =
             DecisionTree::fit_xy(&x, &y, Task::Classification { n_classes: 2 }, &cfg).unwrap();
         // No split can give both children ≥ 3 samples with n=4.
@@ -452,13 +484,19 @@ mod tests {
     #[test]
     fn shape_errors() {
         let x = Matrix::zeros(2, 2);
-        assert!(DecisionTree::fit_xy(&x, &[0.0], Task::Regression, &TreeConfig::default())
-            .is_err());
-        let tree =
-            DecisionTree::fit_xy(&x, &[0.0, 1.0], Task::Regression, &TreeConfig::default())
-                .unwrap();
+        assert!(
+            DecisionTree::fit_xy(&x, &[0.0], Task::Regression, &TreeConfig::default()).is_err()
+        );
+        let tree = DecisionTree::fit_xy(&x, &[0.0, 1.0], Task::Regression, &TreeConfig::default())
+            .unwrap();
         assert!(tree.predict(&Matrix::zeros(1, 3)).is_err());
-        assert!(DecisionTree::fit_xy(&Matrix::zeros(0, 2), &[], Task::Regression, &TreeConfig::default()).is_err());
+        assert!(DecisionTree::fit_xy(
+            &Matrix::zeros(0, 2),
+            &[],
+            Task::Regression,
+            &TreeConfig::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -474,7 +512,11 @@ mod tests {
     #[test]
     fn feature_subsampling_is_deterministic_per_seed() {
         let d = xor_dataset();
-        let cfg = TreeConfig { max_features: MaxFeatures::Exact(1), seed: 5, ..Default::default() };
+        let cfg = TreeConfig {
+            max_features: MaxFeatures::Exact(1),
+            seed: 5,
+            ..Default::default()
+        };
         let t1 = DecisionTree::fit(&d, &cfg).unwrap();
         let t2 = DecisionTree::fit(&d, &cfg).unwrap();
         assert_eq!(t1.predict(&d.x).unwrap(), t2.predict(&d.x).unwrap());

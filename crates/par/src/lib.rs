@@ -1,0 +1,299 @@
+//! # arda-par
+//!
+//! The workspace-wide parallel execution substrate. Every hot path in the
+//! ARDA reproduction — blocked matrix kernels (`arda-linalg`), forest and
+//! k-NN fitting (`arda-ml`), RIFS ensemble rounds (`arda-select`), soft-join
+//! row matching (`arda-join`) and join-plan batches (`arda-core`) — funnels
+//! through the three primitives in this crate instead of hand-rolling
+//! threads.
+//!
+//! ## Design
+//!
+//! * **Dependency-free.** Built only on [`std::thread::scope`]; workers are
+//!   spawned per call and joined before the call returns, so there is no
+//!   pool state, no channels and nothing to shut down.
+//! * **Deterministic ordering.** Inputs are split into *contiguous, ordered
+//!   chunks*; each worker owns whole chunks and results are stitched back
+//!   together in chunk order. A caller therefore observes the exact same
+//!   output `Vec` (bit-for-bit, including floating-point accumulation
+//!   order within an element) no matter how many workers ran. All parallel
+//!   call sites in the workspace are written so that *per-element* work is
+//!   independent, which makes "parallel output == sequential output" an
+//!   invariant the test suite asserts across thread counts {1, 2, 8}.
+//! * **One knob.** The global default worker count is read **once** from
+//!   the `ARDA_THREADS` environment variable (falling back to
+//!   [`std::thread::available_parallelism`]); every API takes a `threads`
+//!   argument where `0` means "use the global default". Benchmarks and
+//!   tests that need to pin a count in-process use
+//!   [`set_default_threads`] or pass an explicit count.
+//!
+//! ## Choosing a primitive
+//!
+//! | Shape of work | Primitive |
+//! |---|---|
+//! | independent items → owned results | [`par_map`] |
+//! | contiguous row ranges → owned result blocks | [`par_for_rows`] |
+//! | disjoint in-place writes to one buffer | [`par_chunks_mut`] |
+//!
+//! ```
+//! let squares = arda_par::par_map(&[1u64, 2, 3, 4], 0, |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cached global default (0 = not yet initialised).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The global default worker count: `ARDA_THREADS` if set to a positive
+/// integer, otherwise the machine's available parallelism. Read once and
+/// cached; [`set_default_threads`] overrides it.
+pub fn default_threads() -> usize {
+    let cached = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("ARDA_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // A benign race: concurrent first calls compute the same value.
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Override the global default worker count for this process (used by the
+/// benchmark harness to sweep thread counts, and by tests).
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Resolve a caller-supplied `threads` argument: `0` → global default.
+#[inline]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        default_threads()
+    } else {
+        requested
+    }
+}
+
+/// The shared small-input policy for every parallel hot path: an explicit
+/// caller request wins; otherwise stay sequential (`1`) when the kernel
+/// touches fewer than `min_work` work units (thread spawn would dominate),
+/// and defer to the global default (`0`) above that. The returned value is
+/// a `threads` argument for the primitives in this crate.
+#[inline]
+pub fn threads_for(requested: usize, work: usize, min_work: usize) -> usize {
+    if requested != 0 {
+        requested
+    } else if work < min_work {
+        1
+    } else {
+        0
+    }
+}
+
+/// Map `f` over `items` on up to `threads` workers (`0` = global default),
+/// returning results in input order. `f` receives the item's index, so
+/// callers can derive per-item seeds.
+///
+/// Each worker processes one contiguous chunk of items; results are
+/// concatenated in chunk order, so the output is identical to the
+/// sequential `items.iter().enumerate().map(..)` for any thread count.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, ch)| {
+                let f = &f;
+                scope.spawn(move || {
+                    ch.iter()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk + j, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("par_map worker panicked"));
+        }
+        out
+    })
+}
+
+/// Split `0..n_rows` into up to `threads` contiguous ranges (`0` = global
+/// default), run `f` on each range concurrently and concatenate the
+/// returned blocks in range order.
+///
+/// The concatenation order is deterministic for any thread count. Output
+/// indices line up with row indices only when `f` returns exactly one item
+/// per row; callers that filter rows (e.g. the k-NN scan) get the same
+/// *sequence* as a sequential scan, not a per-row mapping.
+pub fn par_for_rows<U, F>(n_rows: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(Range<usize>) -> Vec<U> + Sync,
+{
+    let threads = resolve_threads(threads).min(n_rows.max(1));
+    if threads <= 1 {
+        return f(0..n_rows);
+    }
+    let chunk = n_rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                // Both ends clamp so a trailing worker gets an empty range
+                // (never an inverted one) when `chunk` over-covers `n_rows`.
+                let lo = (w * chunk).min(n_rows);
+                let hi = ((w + 1) * chunk).min(n_rows);
+                scope.spawn(move || f(lo..hi))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n_rows);
+        for h in handles {
+            out.extend(h.join().expect("par_for_rows worker panicked"));
+        }
+        out
+    })
+}
+
+/// Process disjoint in-place chunks of `data` concurrently: the buffer is
+/// split into consecutive chunks of `chunk_len` elements (the last may be
+/// shorter), whole chunks are distributed over up to `threads` workers
+/// (`0` = global default) and `f(start_offset, chunk)` runs once per chunk.
+///
+/// This is the write-side primitive behind the blocked matrix kernels: a
+/// row-major output buffer with `chunk_len = row_len × rows_per_block`
+/// gives every worker an exclusive band of output rows.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len).max(1);
+    let threads = resolve_threads(threads).min(n_chunks);
+    if threads <= 1 {
+        for (ci, ch) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci * chunk_len, ch);
+        }
+        return;
+    }
+    let span = n_chunks.div_ceil(threads) * chunk_len;
+    std::thread::scope(|scope| {
+        for (wi, wspan) in data.chunks_mut(span).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (ci, ch) in wspan.chunks_mut(chunk_len).enumerate() {
+                    f(wi * span + ci * chunk_len, ch);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x, "index matches item position");
+                x * 3 + 1
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_edge_cases() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+        // More threads than items.
+        assert_eq!(par_map(&[1u32, 2], 16, |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn par_for_rows_concatenates_in_range_order() {
+        for threads in [1, 2, 5, 8] {
+            let out = par_for_rows(103, threads, |range| range.collect::<Vec<usize>>());
+            assert_eq!(out, (0..103).collect::<Vec<_>>(), "threads={threads}");
+        }
+        assert!(par_for_rows(0, 4, |r| r.collect::<Vec<usize>>()).is_empty());
+    }
+
+    #[test]
+    fn par_for_rows_never_hands_out_inverted_ranges() {
+        // 5 rows over 4 workers: chunk = 2, the last worker's span starts
+        // past n_rows and must clamp to an empty range, not 6..5.
+        let out = par_for_rows(5, 4, |range| {
+            assert!(range.start <= range.end, "inverted range {range:?}");
+            let v: Vec<usize> = (range.start..range.end).collect();
+            // Slicing with the range must also be safe.
+            let data = [0usize, 1, 2, 3, 4];
+            assert_eq!(&data[range], v.as_slice());
+            v
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![0usize; 97];
+            par_chunks_mut(&mut data, 10, threads, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = start + i;
+                }
+            });
+            let expected: Vec<usize> = (0..97).collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_chunk_longer_than_data() {
+        let mut data = vec![1u8; 5];
+        par_chunks_mut(&mut data, 100, 4, |start, chunk| {
+            assert_eq!(start, 0);
+            for v in chunk.iter_mut() {
+                *v = 2;
+            }
+        });
+        assert_eq!(data, vec![2; 5]);
+    }
+
+    #[test]
+    fn resolve_and_set_default() {
+        set_default_threads(3);
+        assert_eq!(resolve_threads(0), 3);
+        assert_eq!(resolve_threads(7), 7);
+        set_default_threads(0); // clamps to 1
+        assert_eq!(resolve_threads(0), 1);
+    }
+}

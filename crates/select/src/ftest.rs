@@ -85,8 +85,10 @@ mod tests {
     fn anova_separated_groups_score_high() {
         let labels: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
         let mut rng = StdRng::seed_from_u64(0);
-        let separated: Vec<f64> =
-            labels.iter().map(|&c| c * 10.0 + rng.gen_range(-0.5..0.5)).collect();
+        let separated: Vec<f64> = labels
+            .iter()
+            .map(|&c| c * 10.0 + rng.gen_range(-0.5..0.5))
+            .collect();
         let noise: Vec<f64> = (0..100).map(|_| rng.gen_range(-1.0..1.0)).collect();
         assert!(anova_f(&separated, &labels, 2) > 100.0);
         assert!(anova_f(&noise, &labels, 2) < 5.0);
@@ -114,7 +116,10 @@ mod tests {
     fn regression_f_correlated_beats_noise() {
         let mut rng = StdRng::seed_from_u64(1);
         let y: Vec<f64> = (0..200).map(|i| i as f64).collect();
-        let corr: Vec<f64> = y.iter().map(|v| 2.0 * v + rng.gen_range(-5.0..5.0)).collect();
+        let corr: Vec<f64> = y
+            .iter()
+            .map(|v| 2.0 * v + rng.gen_range(-5.0..5.0))
+            .collect();
         let noise: Vec<f64> = (0..200).map(|_| rng.gen_range(0.0..200.0)).collect();
         assert!(regression_f(&corr, &y) > 100.0 * regression_f(&noise, &y).max(1.0));
     }

@@ -12,6 +12,10 @@
 //! train split, validate on a holdout split, return the selected feature
 //! indices with timing.
 
+// Numeric kernels below index several arrays with one loop variable;
+// iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 pub mod ftest;
 pub mod mutual_info;
 pub mod ranking;
@@ -85,7 +89,10 @@ impl SelectionContext {
         SelectionContext {
             train,
             holdout,
-            estimator: ModelKind::RandomForest { n_trees: 32, max_depth: 10 },
+            estimator: ModelKind::RandomForest {
+                n_trees: 32,
+                max_depth: 10,
+            },
             seed,
         }
     }
@@ -186,7 +193,11 @@ pub fn run_selector(
     };
     let seconds = start.elapsed().as_secs_f64();
     let holdout_score = ctx.evaluate(data, &selected)?;
-    Ok(SelectionResult { selected, holdout_score, seconds })
+    Ok(SelectionResult {
+        selected,
+        holdout_score,
+        seconds,
+    })
 }
 
 #[cfg(test)]
@@ -243,7 +254,11 @@ mod tests {
             &ctx,
         )
         .unwrap();
-        assert!(r.selected.contains(&0), "signal feature 0 selected: {:?}", r.selected);
+        assert!(
+            r.selected.contains(&0),
+            "signal feature 0 selected: {:?}",
+            r.selected
+        );
         assert!(r.holdout_score > 0.85);
         assert!(r.seconds >= 0.0);
     }

@@ -16,9 +16,12 @@ fn bin_of(v: f64, lo: f64, hi: f64, bins: usize) -> usize {
 /// quantile-binned into `bins` buckets.
 pub fn discretize_target(y: &[f64], task: Task, bins: usize) -> (Vec<usize>, usize) {
     match task {
-        Task::Classification { n_classes } => {
-            (y.iter().map(|&v| (v as usize).min(n_classes.saturating_sub(1))).collect(), n_classes.max(1))
-        }
+        Task::Classification { n_classes } => (
+            y.iter()
+                .map(|&v| (v as usize).min(n_classes.saturating_sub(1)))
+                .collect(),
+            n_classes.max(1),
+        ),
         Task::Regression => {
             let bins = bins.max(2);
             let mut sorted: Vec<f64> = y.to_vec();
@@ -38,7 +41,12 @@ pub fn discretize_target(y: &[f64], task: Task, bins: usize) -> (Vec<usize>, usi
 
 /// Mutual information (nats) between a continuous feature and a discrete
 /// target, via an equal-width histogram on the feature.
-pub fn mutual_information(feature: &[f64], target_ids: &[usize], n_target: usize, bins: usize) -> f64 {
+pub fn mutual_information(
+    feature: &[f64],
+    target_ids: &[usize],
+    n_target: usize,
+    bins: usize,
+) -> f64 {
     assert_eq!(feature.len(), target_ids.len(), "mi: length mismatch");
     let n = feature.len();
     if n == 0 || n_target == 0 {
@@ -74,12 +82,7 @@ pub fn mutual_information(feature: &[f64], target_ids: &[usize], n_target: usize
 }
 
 /// MI score of every column of `x` against `y`.
-pub fn mutual_info_scores(
-    x: &arda_linalg::Matrix,
-    y: &[f64],
-    task: Task,
-    bins: usize,
-) -> Vec<f64> {
+pub fn mutual_info_scores(x: &arda_linalg::Matrix, y: &[f64], task: Task, bins: usize) -> Vec<f64> {
     let (target_ids, n_target) = discretize_target(y, task, bins);
     (0..x.cols())
         .map(|c| mutual_information(&x.col(c), &target_ids, n_target, bins))
@@ -98,7 +101,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let n = 500;
         let y: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
-        let signal: Vec<f64> = y.iter().map(|&c| c * 5.0 + rng.gen_range(-0.1..0.1)).collect();
+        let signal: Vec<f64> = y
+            .iter()
+            .map(|&c| c * 5.0 + rng.gen_range(-0.1..0.1))
+            .collect();
         let noise: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let (ids, k) = discretize_target(&y, Task::Classification { n_classes: 2 }, 10);
         let mi_signal = mutual_information(&signal, &ids, k, 10);

@@ -88,8 +88,15 @@ pub fn rank_features(data: &Dataset, method: RankingMethod, seed: u64) -> Result
     let y = &data.y;
     let scores = match method {
         RankingMethod::RandomForest => {
-            let cfg = ForestConfig { n_trees: 32, max_depth: 10, seed, ..Default::default() };
-            RandomForest::fit_xy(x, y, data.task, &cfg)?.importances().to_vec()
+            let cfg = ForestConfig {
+                n_trees: 32,
+                max_depth: 10,
+                seed,
+                ..Default::default()
+            };
+            RandomForest::fit_xy(x, y, data.task, &cfg)?
+                .importances()
+                .to_vec()
         }
         RankingMethod::SparseRegression => {
             let mut xs = x.clone();
@@ -97,9 +104,7 @@ pub fn rank_features(data: &Dataset, method: RankingMethod, seed: u64) -> Result
             let ym = target_matrix(y, data.task);
             l21_solve(&xs, &ym, &L21Config::default())?.feature_scores
         }
-        RankingMethod::MutualInfo => {
-            crate::mutual_info::mutual_info_scores(x, y, data.task, 10)
-        }
+        RankingMethod::MutualInfo => crate::mutual_info::mutual_info_scores(x, y, data.task, 10),
         RankingMethod::FTest => crate::ftest::f_scores(x, y, data.task),
         RankingMethod::Lasso => {
             let mut m = Lasso::new(0.05);
@@ -118,7 +123,10 @@ pub fn rank_features(data: &Dataset, method: RankingMethod, seed: u64) -> Result
             m.coefficient_magnitudes()
         }
         RankingMethod::Relief => {
-            let cfg = ReliefConfig { seed, ..Default::default() };
+            let cfg = ReliefConfig {
+                seed,
+                ..Default::default()
+            };
             relief_scores(x, y, data.task, &cfg)
         }
     };

@@ -10,10 +10,14 @@
 
 use crate::mutual_info::discretize_target;
 use arda_linalg::Matrix;
-use arda_ml::{nearest_neighbors, Task};
+use arda_ml::{nearest_neighbors_threads, Task};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Anchor·row·feature work units below which the anchor loop stays
+/// sequential.
+const PAR_MIN_WORK: usize = 1 << 15;
 
 /// ReliefF configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +34,12 @@ pub struct ReliefConfig {
 
 impl Default for ReliefConfig {
     fn default() -> Self {
-        ReliefConfig { k: 5, n_samples: Some(100), regression_bins: 4, seed: 0 }
+        ReliefConfig {
+            k: 5,
+            n_samples: Some(100),
+            regression_bins: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -43,13 +52,15 @@ pub fn relief_scores(x: &Matrix, y: &[f64], task: Task, cfg: &ReliefConfig) -> V
     }
     let (classes, _) = discretize_target(y, task, cfg.regression_bins);
 
-    // Per-feature ranges for distance normalisation.
+    // Per-feature ranges for distance normalisation (one reused gather
+    // buffer across the column sweep).
     let mut ranges = vec![0.0f64; d];
-    for c in 0..d {
-        let col = x.col(c);
-        let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        ranges[c] = (hi - lo).max(1e-12);
+    let mut buf = Vec::new();
+    for (c, range) in ranges.iter_mut().enumerate() {
+        x.col_into(c, &mut buf);
+        let lo = buf.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = buf.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        *range = (hi - lo).max(1e-12);
     }
 
     let mut anchors: Vec<usize> = (0..n).collect();
@@ -60,17 +71,22 @@ pub fn relief_scores(x: &Matrix, y: &[f64], task: Task, cfg: &ReliefConfig) -> V
         }
     }
 
-    let mut weights = vec![0.0f64; d];
-    let mut updates = 0usize;
-    for &i in &anchors {
-        let hits = nearest_neighbors(x, i, cfg.k, |j| classes[j] == classes[i]);
-        let misses = nearest_neighbors(x, i, cfg.k, |j| classes[j] != classes[i]);
+    // Each anchor's hit/miss search and weight delta is independent; the
+    // deltas are reduced in anchor order afterwards, so the accumulated
+    // weights match the sequential loop at any thread count. Small
+    // datasets stay sequential (the per-anchor scan costs ~n·d work).
+    let threads = arda_par::threads_for(0, anchors.len() * n * d, PAR_MIN_WORK);
+    let deltas: Vec<Option<Vec<f64>>> = arda_par::par_map(&anchors, threads, |_, &i| {
+        // Inner scans pinned to 1 worker: the anchor loop above already
+        // spends the parallelism budget.
+        let hits = nearest_neighbors_threads(x, i, cfg.k, |j| classes[j] == classes[i], 1);
+        let misses = nearest_neighbors_threads(x, i, cfg.k, |j| classes[j] != classes[i], 1);
         if hits.is_empty() || misses.is_empty() {
-            continue;
+            return None;
         }
-        updates += 1;
         let anchor = x.row(i);
-        for (f, w) in weights.iter_mut().enumerate() {
+        let mut delta = vec![0.0f64; d];
+        for (f, w) in delta.iter_mut().enumerate() {
             let hit_diff: f64 = hits
                 .iter()
                 .map(|&h| (anchor[f] - x.get(h, f)).abs() / ranges[f])
@@ -81,7 +97,17 @@ pub fn relief_scores(x: &Matrix, y: &[f64], task: Task, cfg: &ReliefConfig) -> V
                 .map(|&m| (anchor[f] - x.get(m, f)).abs() / ranges[f])
                 .sum::<f64>()
                 / misses.len() as f64;
-            *w += miss_diff - hit_diff;
+            *w = miss_diff - hit_diff;
+        }
+        Some(delta)
+    });
+
+    let mut weights = vec![0.0f64; d];
+    let mut updates = 0usize;
+    for delta in deltas.into_iter().flatten() {
+        updates += 1;
+        for (w, v) in weights.iter_mut().zip(&delta) {
+            *w += v;
         }
     }
     if updates > 0 {
@@ -101,7 +127,10 @@ mod tests {
         let mut y = Vec::with_capacity(n);
         for i in 0..n {
             let cls = (i % 2) as f64;
-            rows.push(vec![cls * 2.0 + rng.gen_range(-0.3..0.3), rng.gen_range(-1.0..1.0)]);
+            rows.push(vec![
+                cls * 2.0 + rng.gen_range(-0.3..0.3),
+                rng.gen_range(-1.0..1.0),
+            ]);
             y.push(cls);
         }
         (Matrix::from_rows(&rows).unwrap(), y)
@@ -110,7 +139,12 @@ mod tests {
     #[test]
     fn signal_feature_outranks_noise() {
         let (x, y) = planted(200, 0);
-        let w = relief_scores(&x, &y, Task::Classification { n_classes: 2 }, &ReliefConfig::default());
+        let w = relief_scores(
+            &x,
+            &y,
+            Task::Classification { n_classes: 2 },
+            &ReliefConfig::default(),
+        );
         assert!(w[0] > 0.2, "signal weight {w:?}");
         assert!(w[0] > w[1] * 3.0, "{w:?}");
     }
@@ -132,7 +166,12 @@ mod tests {
     fn single_class_gives_zero_weights() {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let y = vec![0.0, 0.0, 0.0];
-        let w = relief_scores(&x, &y, Task::Classification { n_classes: 2 }, &ReliefConfig::default());
+        let w = relief_scores(
+            &x,
+            &y,
+            Task::Classification { n_classes: 2 },
+            &ReliefConfig::default(),
+        );
         assert_eq!(w, vec![0.0]);
     }
 
@@ -146,7 +185,11 @@ mod tests {
     #[test]
     fn sampling_is_deterministic() {
         let (x, y) = planted(120, 2);
-        let cfg = ReliefConfig { n_samples: Some(30), seed: 9, ..Default::default() };
+        let cfg = ReliefConfig {
+            n_samples: Some(30),
+            seed: 9,
+            ..Default::default()
+        };
         let a = relief_scores(&x, &y, Task::Classification { n_classes: 2 }, &cfg);
         let b = relief_scores(&x, &y, Task::Classification { n_classes: 2 }, &cfg);
         assert_eq!(a, b);

@@ -99,9 +99,7 @@ pub fn inject_features(
 ) -> Matrix {
     let n = x.rows();
     match distribution {
-        InjectionDistribution::MomentMatched => {
-            MomentMatchedSampler::fit(x).sample_columns(rng, t)
-        }
+        InjectionDistribution::MomentMatched => MomentMatchedSampler::fit(x).sample_columns(rng, t),
         InjectionDistribution::StandardNormal => {
             let mut m = Matrix::zeros(n, t);
             for c in 0..t {
@@ -170,11 +168,16 @@ fn max_normalize(scores: &mut [f64]) {
 
 /// One ensemble ranking over the augmented matrix (Algorithm 1, step 2):
 /// ν-weighted combination of RF importances and ℓ2,1 row norms.
+///
+/// The forest fits sequentially (`n_threads: 1`): RIFS runs its injection
+/// rounds concurrently, so the parallelism budget is spent across rounds
+/// rather than nested inside each fit.
 fn ensemble_scores(aug: &Dataset, cfg: &RifsConfig, seed: u64) -> Result<Vec<f64>> {
     let rf_cfg = ForestConfig {
         n_trees: cfg.rf_trees,
         max_depth: 10,
         seed,
+        n_threads: 1,
         ..Default::default()
     };
     let mut rf = RandomForest::fit_xy(&aug.x, &aug.y, aug.task, &rf_cfg)?
@@ -185,7 +188,11 @@ fn ensemble_scores(aug: &Dataset, cfg: &RifsConfig, seed: u64) -> Result<Vec<f64
     let mut xs = aug.x.clone();
     standardize_columns(&mut xs);
     let ym = target_matrix(&aug.y, aug.task);
-    let mut sr = l21_solve(&xs, &ym, &cfg.l21)?.feature_scores;
+    let l21_cfg = L21Config {
+        threads: 1,
+        ..cfg.l21.clone()
+    };
+    let mut sr = l21_solve(&xs, &ym, &l21_cfg)?.feature_scores;
     max_normalize(&mut sr);
 
     Ok(rf
@@ -197,11 +204,7 @@ fn ensemble_scores(aug: &Dataset, cfg: &RifsConfig, seed: u64) -> Result<Vec<f64
 
 /// Algorithm 1: compute `r*`, the fraction of rounds each real feature
 /// out-ranks all injected features.
-pub fn rifs_fractions(
-    train_data: &Dataset,
-    cfg: &RifsConfig,
-    seed: u64,
-) -> Result<Vec<f64>> {
+pub fn rifs_fractions(train_data: &Dataset, cfg: &RifsConfig, seed: u64) -> Result<Vec<f64>> {
     let d = train_data.n_features();
     if d == 0 {
         return Ok(Vec::new());
@@ -209,13 +212,24 @@ pub fn rifs_fractions(
     let t = ((cfg.eta * d as f64).ceil() as usize).max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut counts = vec![0usize; d];
+    let repeats = cfg.repeats.max(1);
 
-    for rep in 0..cfg.repeats.max(1) {
-        let noise = inject_features(&train_data.x, t, cfg.distribution, &mut rng);
-        let names: Vec<String> = (0..t).map(|i| format!("__rifs_noise_{i}")).collect();
-        let aug = train_data.append_features(&noise, names)?;
-        let scores = ensemble_scores(&aug, cfg, seed.wrapping_add(rep as u64))?;
+    // Draw every round's injected noise up front from the single master RNG
+    // (the stream is identical to the old one-round-at-a-time order), then
+    // run the independent ensemble fits concurrently. Count aggregation
+    // walks the ordered results, so fractions match the sequential run for
+    // any thread count.
+    let noises: Vec<Matrix> = (0..repeats)
+        .map(|_| inject_features(&train_data.x, t, cfg.distribution, &mut rng))
+        .collect();
+    let names: Vec<String> = (0..t).map(|i| format!("__rifs_noise_{i}")).collect();
+    let round_scores: Vec<Result<Vec<f64>>> = arda_par::par_map(&noises, 0, |rep, noise| {
+        let aug = train_data.append_features(noise, names.clone())?;
+        ensemble_scores(&aug, cfg, seed.wrapping_add(rep as u64))
+    });
 
+    for scores in round_scores {
+        let scores = scores?;
         // Threshold: the best-scoring injected feature.
         let noise_max = scores[d..]
             .iter()
@@ -227,17 +241,15 @@ pub fn rifs_fractions(
             }
         }
     }
-    Ok(counts.iter().map(|&c| c as f64 / cfg.repeats.max(1) as f64).collect())
+    Ok(counts.iter().map(|&c| c as f64 / repeats as f64).collect())
 }
 
 /// Algorithms 1+3: full RIFS selection with the threshold wrapper.
-pub fn rifs_select(
-    data: &Dataset,
-    ctx: &SelectionContext,
-    cfg: &RifsConfig,
-) -> Result<RifsReport> {
+pub fn rifs_select(data: &Dataset, ctx: &SelectionContext, cfg: &RifsConfig) -> Result<RifsReport> {
     if cfg.thresholds.is_empty() {
-        return Err(SelectError::Invalid("RIFS needs a non-empty threshold grid".into()));
+        return Err(SelectError::Invalid(
+            "RIFS needs a non-empty threshold grid".into(),
+        ));
     }
     let train_data = data.select_rows(&ctx.train)?;
     let fractions = rifs_fractions(&train_data, cfg, ctx.seed)?;
@@ -273,7 +285,12 @@ pub fn rifs_select(
         }
     };
 
-    Ok(RifsReport { selected, fractions, threshold_used, holdout_score })
+    Ok(RifsReport {
+        selected,
+        fractions,
+        threshold_used,
+        holdout_score,
+    })
 }
 
 #[cfg(test)]
@@ -312,7 +329,10 @@ mod tests {
         RifsConfig {
             repeats: 5,
             rf_trees: 12,
-            l21: L21Config { max_iter: 10, ..Default::default() },
+            l21: L21Config {
+                max_iter: 10,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -332,13 +352,21 @@ mod tests {
         let d = planted(160, 10, 1);
         let ctx = SelectionContext::standard(&d, 1);
         let report = rifs_select(&d, &ctx, &fast_cfg()).unwrap();
-        assert!(report.selected.contains(&0), "f0 kept: {:?}", report.selected);
+        assert!(
+            report.selected.contains(&0),
+            "f0 kept: {:?}",
+            report.selected
+        );
         assert!(
             report.selected.len() <= 6,
             "most of 10 noise features pruned: {:?}",
             report.selected
         );
-        assert!(report.holdout_score > 0.85, "score {}", report.holdout_score);
+        assert!(
+            report.holdout_score > 0.85,
+            "score {}",
+            report.holdout_score
+        );
     }
 
     #[test]
@@ -374,7 +402,10 @@ mod tests {
     fn empty_threshold_grid_rejected() {
         let d = planted(60, 2, 4);
         let ctx = SelectionContext::standard(&d, 4);
-        let cfg = RifsConfig { thresholds: vec![], ..fast_cfg() };
+        let cfg = RifsConfig {
+            thresholds: vec![],
+            ..fast_cfg()
+        };
         assert!(rifs_select(&d, &ctx, &cfg).is_err());
     }
 

@@ -89,7 +89,11 @@ mod tests {
                 row.push(rng.gen_range(0.0..1.0));
             }
             rows.push(row);
-            y.push(if acc > n_signal as f64 / 2.0 { 1.0 } else { 0.0 });
+            y.push(if acc > n_signal as f64 / 2.0 {
+                1.0
+            } else {
+                0.0
+            });
         }
         let names = (0..n_signal + n_noise).map(|i| format!("f{i}")).collect();
         Dataset::new(
@@ -112,7 +116,10 @@ mod tests {
         }
         let sel = exponential_search(&d, &ctx, &scores).unwrap();
         assert!(sel.len() >= 2, "at least the doubling base: {sel:?}");
-        assert!(sel.contains(&0) && sel.contains(&1), "top-ranked kept: {sel:?}");
+        assert!(
+            sel.contains(&0) && sel.contains(&1),
+            "top-ranked kept: {sel:?}"
+        );
         assert!(sel.len() < 15, "must not balloon to all features: {sel:?}");
     }
 

@@ -38,6 +38,10 @@ pub struct L21Config {
     pub robust_labels: bool,
     /// Blend factor for robust labels.
     pub label_blend: f64,
+    /// Worker cap for the solver's matrix products (`0` = automatic).
+    /// Callers that already run many solves concurrently (RIFS rounds)
+    /// pin this to 1 to avoid nesting parallelism.
+    pub threads: usize,
 }
 
 impl Default for L21Config {
@@ -49,6 +53,7 @@ impl Default for L21Config {
             eps: 1e-8,
             robust_labels: false,
             label_blend: 0.3,
+            threads: 0,
         }
     }
 }
@@ -174,7 +179,11 @@ pub fn l21_solve(x: &Matrix, y: &Matrix, cfg: &L21Config) -> Result<L21Solution>
         cholesky_solve_multi(&gram, &rhs).map_err(|e| SelectError::Invalid(e.to_string()))?;
 
     let objective = |w: &Matrix, y_cur: &Matrix| -> f64 {
-        let resid = x.matmul(w).expect("dims").sub(y_cur).expect("dims");
+        let resid = x
+            .matmul_threads(w, cfg.threads)
+            .expect("dims")
+            .sub(y_cur)
+            .expect("dims");
         l21_norm_rows(&resid) + cfg.gamma * l21_norm_rows(w)
     };
     let mut prev_obj = objective(&w, &y_work);
@@ -182,11 +191,21 @@ pub fn l21_solve(x: &Matrix, y: &Matrix, cfg: &L21Config) -> Result<L21Solution>
 
     for it in 0..cfg.max_iter {
         iterations = it + 1;
-        let resid = x.matmul(&w).expect("dims").sub(&y_work).expect("dims");
-        let d1: Vec<f64> =
-            resid.row_norms().iter().map(|r| 1.0 / (2.0 * r.max(cfg.eps))).collect();
-        let d2: Vec<f64> =
-            w.row_norms().iter().map(|r| 1.0 / (2.0 * r.max(cfg.eps))).collect();
+        let resid = x
+            .matmul_threads(&w, cfg.threads)
+            .expect("dims")
+            .sub(&y_work)
+            .expect("dims");
+        let d1: Vec<f64> = resid
+            .row_norms()
+            .iter()
+            .map(|r| 1.0 / (2.0 * r.max(cfg.eps)))
+            .collect();
+        let d2: Vec<f64> = w
+            .row_norms()
+            .iter()
+            .map(|r| 1.0 / (2.0 * r.max(cfg.eps)))
+            .collect();
 
         let mut lhs = weighted_gram(x, &d1);
         for i in 0..d {
@@ -194,13 +213,12 @@ pub fn l21_solve(x: &Matrix, y: &Matrix, cfg: &L21Config) -> Result<L21Solution>
             lhs.set(i, i, v);
         }
         let rhs = weighted_cross(x, &d1, &y_work);
-        w = cholesky_solve_multi(&lhs, &rhs)
-            .map_err(|e| SelectError::Invalid(e.to_string()))?;
+        w = cholesky_solve_multi(&lhs, &rhs).map_err(|e| SelectError::Invalid(e.to_string()))?;
 
         // Optional robust-label refinement (classification): pull Y towards
         // the model's own hardened predictions.
         if cfg.robust_labels && y.cols() > 1 {
-            let pred = x.matmul(&w).expect("dims");
+            let pred = x.matmul_threads(&w, cfg.threads).expect("dims");
             for r in 0..n {
                 let best = (0..y.cols())
                     .max_by(|&a, &b| pred.get(r, a).total_cmp(&pred.get(r, b)))
@@ -226,7 +244,12 @@ pub fn l21_solve(x: &Matrix, y: &Matrix, cfg: &L21Config) -> Result<L21Solution>
     }
 
     let feature_scores = w.row_norms();
-    Ok(L21Solution { w, feature_scores, objective: prev_obj, iterations })
+    Ok(L21Solution {
+        w,
+        feature_scores,
+        objective: prev_obj,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -242,8 +265,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
-        let y: Vec<f64> =
-            rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + rng.gen_range(-0.01..0.01)).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + rng.gen_range(-0.01..0.01))
+            .collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
 
@@ -252,7 +277,15 @@ mod tests {
         let (mut x, y) = planted(200, 8, 0);
         standardize_columns(&mut x);
         let ym = target_matrix(&y, Task::Regression);
-        let sol = l21_solve(&x, &ym, &L21Config { gamma: 2.0, ..Default::default() }).unwrap();
+        let sol = l21_solve(
+            &x,
+            &ym,
+            &L21Config {
+                gamma: 2.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = &sol.feature_scores;
         assert!(s[0] > 0.5 && s[1] > 0.3, "signal rows large: {s:?}");
         for j in 2..8 {
@@ -280,7 +313,15 @@ mod tests {
         standardize_columns(&mut x);
         let ym = target_matrix(&y, Task::Classification { n_classes: 3 });
         assert_eq!(ym.cols(), 3);
-        let sol = l21_solve(&x, &ym, &L21Config { gamma: 1.0, ..Default::default() }).unwrap();
+        let sol = l21_solve(
+            &x,
+            &ym,
+            &L21Config {
+                gamma: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(
             sol.feature_scores[0] > 2.0 * sol.feature_scores[1],
             "class-separating feature must rank first: {:?}",
@@ -293,8 +334,24 @@ mod tests {
         let (mut x, y) = planted(150, 6, 2);
         standardize_columns(&mut x);
         let ym = target_matrix(&y, Task::Regression);
-        let weak = l21_solve(&x, &ym, &L21Config { gamma: 0.01, ..Default::default() }).unwrap();
-        let strong = l21_solve(&x, &ym, &L21Config { gamma: 20.0, ..Default::default() }).unwrap();
+        let weak = l21_solve(
+            &x,
+            &ym,
+            &L21Config {
+                gamma: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let strong = l21_solve(
+            &x,
+            &ym,
+            &L21Config {
+                gamma: 20.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mass = |s: &[f64]| s.iter().sum::<f64>();
         assert!(mass(&strong.feature_scores) < mass(&weak.feature_scores));
     }
@@ -304,8 +361,24 @@ mod tests {
         let (mut x, y) = planted(100, 5, 3);
         standardize_columns(&mut x);
         let ym = target_matrix(&y, Task::Regression);
-        let short = l21_solve(&x, &ym, &L21Config { max_iter: 1, ..Default::default() }).unwrap();
-        let long = l21_solve(&x, &ym, &L21Config { max_iter: 25, ..Default::default() }).unwrap();
+        let short = l21_solve(
+            &x,
+            &ym,
+            &L21Config {
+                max_iter: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let long = l21_solve(
+            &x,
+            &ym,
+            &L21Config {
+                max_iter: 25,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(long.objective <= short.objective + 1e-9);
     }
 
@@ -317,15 +390,25 @@ mod tests {
         let mut y = Vec::new();
         for i in 0..n {
             let cls = (i % 2) as f64;
-            rows.push(vec![cls * 2.0 + rng.gen_range(-0.3..0.3), rng.gen_range(-1.0..1.0)]);
+            rows.push(vec![
+                cls * 2.0 + rng.gen_range(-0.3..0.3),
+                rng.gen_range(-1.0..1.0),
+            ]);
             // 10% label noise.
-            let noisy = if rng.gen::<f64>() < 0.1 { 1.0 - cls } else { cls };
+            let noisy = if rng.gen::<f64>() < 0.1 {
+                1.0 - cls
+            } else {
+                cls
+            };
             y.push(noisy);
         }
         let mut x = Matrix::from_rows(&rows).unwrap();
         standardize_columns(&mut x);
         let ym = target_matrix(&y, Task::Classification { n_classes: 2 });
-        let cfg = L21Config { robust_labels: true, ..Default::default() };
+        let cfg = L21Config {
+            robust_labels: true,
+            ..Default::default()
+        };
         let sol = l21_solve(&x, &ym, &cfg).unwrap();
         assert!(sol.feature_scores[0] > sol.feature_scores[1]);
     }
@@ -335,8 +418,12 @@ mod tests {
         let x = Matrix::zeros(3, 2);
         let y = Matrix::zeros(2, 1);
         assert!(l21_solve(&x, &y, &L21Config::default()).is_err());
-        assert!(l21_solve(&Matrix::zeros(0, 0), &Matrix::zeros(0, 1), &L21Config::default())
-            .is_err());
+        assert!(l21_solve(
+            &Matrix::zeros(0, 0),
+            &Matrix::zeros(0, 1),
+            &L21Config::default()
+        )
+        .is_err());
     }
 
     #[test]

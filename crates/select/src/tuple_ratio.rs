@@ -46,7 +46,10 @@ mod tests {
     #[test]
     fn high_ratio_eliminates() {
         // 1000 rows, 10 distinct keys → ratio 100 > τ=20.
-        assert_eq!(tuple_ratio_filter(1000, 10, 20.0), TupleRatioDecision::Eliminate);
+        assert_eq!(
+            tuple_ratio_filter(1000, 10, 20.0),
+            TupleRatioDecision::Eliminate
+        );
     }
 
     #[test]
@@ -62,6 +65,9 @@ mod tests {
 
     #[test]
     fn empty_domain_eliminates() {
-        assert_eq!(tuple_ratio_filter(10, 0, 20.0), TupleRatioDecision::Eliminate);
+        assert_eq!(
+            tuple_ratio_filter(10, 0, 20.0),
+            TupleRatioDecision::Eliminate
+        );
     }
 }

@@ -43,7 +43,10 @@ pub fn decoy_table(
             key_name,
             keys.iter().map(|v| v.as_i64().unwrap_or(0)).collect(),
         ),
-        _ => Column::from_i64(key_name, keys.iter().map(|v| v.as_i64().unwrap_or(0)).collect()),
+        _ => Column::from_i64(
+            key_name,
+            keys.iter().map(|v| v.as_i64().unwrap_or(0)).collect(),
+        ),
     };
 
     let mut cols = vec![key_col];
@@ -95,18 +98,30 @@ mod tests {
 
     #[test]
     fn string_and_timestamp_domains() {
-        let sdomain: Vec<Value> = ["a", "b", "c"].iter().map(|s| Value::Str(s.to_string())).collect();
+        let sdomain: Vec<Value> = ["a", "b", "c"]
+            .iter()
+            .map(|s| Value::Str(s.to_string()))
+            .collect();
         let d = decoy_table("d", "k", &sdomain, 2, 1);
         assert_eq!(d.column("k").unwrap().dtype(), arda_table::DataType::Str);
         let tdomain: Vec<Value> = (0..10).map(|i| Value::Timestamp(i * 3600)).collect();
         let d2 = decoy_table("d2", "t", &tdomain, 2, 2);
-        assert_eq!(d2.column("t").unwrap().dtype(), arda_table::DataType::Timestamp);
+        assert_eq!(
+            d2.column("t").unwrap().dtype(),
+            arda_table::DataType::Timestamp
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let domain: Vec<Value> = (0..20).map(Value::Int).collect();
-        assert_eq!(decoy_table("d", "k", &domain, 2, 7), decoy_table("d", "k", &domain, 2, 7));
-        assert_ne!(decoy_table("d", "k", &domain, 2, 7), decoy_table("d", "k", &domain, 2, 8));
+        assert_eq!(
+            decoy_table("d", "k", &domain, 2, 7),
+            decoy_table("d", "k", &domain, 2, 7)
+        );
+        assert_ne!(
+            decoy_table("d", "k", &domain, 2, 7),
+            decoy_table("d", "k", &domain, 2, 8)
+        );
     }
 }

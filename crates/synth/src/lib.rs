@@ -19,6 +19,10 @@
 //! Because the ground truth is planted, the benches can measure noise
 //! filtering exactly (Fig. 6) instead of eyeballing it.
 
+// Numeric kernels below index several arrays with one loop variable;
+// iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 mod decoys;
 mod micro;
 mod real_world;

@@ -28,18 +28,19 @@ pub fn kraken(seed: u64) -> MicroDataset {
     let n_informative = 8;
 
     // Fixed per-feature class offsets for the informative channels.
-    let offsets: Vec<f64> = (0..n_informative).map(|_| rng.gen_range(0.15..0.5)).collect();
+    let offsets: Vec<f64> = (0..n_informative)
+        .map(|_| rng.gen_range(0.15..0.5))
+        .collect();
 
     // Exactly 568 zeros and 432 ones, shuffled.
-    let mut labels: Vec<f64> = std::iter::repeat(0.0)
-        .take(568)
-        .chain(std::iter::repeat(1.0).take(432))
+    let mut labels: Vec<f64> = std::iter::repeat_n(0.0, 568)
+        .chain(std::iter::repeat_n(1.0, 432))
         .collect();
     for i in (1..labels.len()).rev() {
         labels.swap(i, rng.gen_range(0..=i));
     }
 
-    let mut feature_cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); n_features];
+    let mut feature_cols: Vec<Vec<f64>> = (0..n_features).map(|_| Vec::with_capacity(n)).collect();
     for &y in &labels {
         for (f, col) in feature_cols.iter_mut().enumerate() {
             let v = if f < n_informative {
@@ -53,7 +54,6 @@ pub fn kraken(seed: u64) -> MicroDataset {
     // 8% label noise via cross-class swaps: the features reflect the true
     // state while the recorded label sometimes lies — and swapping one
     // label from each class preserves the exact 568/432 split.
-    let mut labels = labels;
     let zeros: Vec<usize> = (0..n).filter(|&i| labels[i] == 0.0).collect();
     let ones: Vec<usize> = (0..n).filter(|&i| labels[i] == 1.0).collect();
     for k in 0..40 {
@@ -170,13 +170,19 @@ pub fn append_noise_columns(data: &MicroDataset, factor: usize, seed: u64) -> Mi
                 let p: f64 = rng.gen_range(0.1..0.9);
                 Column::from_f64(
                     &name,
-                    (0..n).map(|_| if rng.gen::<f64>() < p { 1.0 } else { 0.0 }).collect(),
+                    (0..n)
+                        .map(|_| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
+                        .collect(),
                 )
             }
         };
         table.add_column(col).expect("noise names are unique");
     }
-    MicroDataset { table, target: data.target.clone(), informative: data.informative.clone() }
+    MicroDataset {
+        table,
+        target: data.target.clone(),
+        informative: data.informative.clone(),
+    }
 }
 
 /// Local Box–Muller (avoids a dependency edge from synth to linalg).
@@ -238,7 +244,10 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!((mean(1.0) - mean(0.0)).abs() > 0.08, "informative channel separates classes");
+        assert!(
+            (mean(1.0) - mean(0.0)).abs() > 0.08,
+            "informative channel separates classes"
+        );
         let sensor19 = k.table.column("sensor_19").unwrap();
         let mean19 = |cls: f64| {
             let vals: Vec<f64> = (0..k.table.n_rows())
@@ -247,7 +256,10 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!((mean19(1.0) - mean19(0.0)).abs() < 0.25, "uninformative channel does not");
+        assert!(
+            (mean19(1.0) - mean19(0.0)).abs() < 0.25,
+            "uninformative channel does not"
+        );
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub fn taxi(cfg: &ScenarioConfig) -> Scenario {
     let temp: Vec<f64> = (0..day_count)
         .map(|d| 15.0 + 10.0 * (d as f64 / 20.0).sin() + rng.gen_range(-2.0..2.0))
         .collect();
-    let precip: Vec<f64> =
-        (0..day_count).map(|_| rng.gen_range(0.0f64..8.0).powi(2) / 8.0).collect();
+    let precip: Vec<f64> = (0..day_count)
+        .map(|_| rng.gen_range(0.0f64..8.0).powi(2) / 8.0)
+        .collect();
     let volume: Vec<f64> = (0..day_count).map(|_| rng.gen_range(0.0..5.0)).collect();
 
     let target: Vec<f64> = (0..n)
@@ -57,7 +58,10 @@ pub fn taxi(cfg: &ScenarioConfig) -> Scenario {
         vec![
             Column::from_timestamps("date", dates.clone()),
             Column::from_str("borough", borough),
-            Column::from_i64("day_of_week", (0..n).map(|i| ((i / 5) % 7) as i64).collect()),
+            Column::from_i64(
+                "day_of_week",
+                (0..n).map(|i| ((i / 5) % 7) as i64).collect(),
+            ),
             Column::from_f64("collisions", target),
         ],
     )
@@ -70,7 +74,10 @@ pub fn taxi(cfg: &ScenarioConfig) -> Scenario {
             Column::from_timestamps("date", day_keys.clone()),
             Column::from_f64("temp", temp),
             Column::from_f64("precip", precip),
-            Column::from_f64("wind", (0..day_count).map(|_| rng.gen_range(0.0..30.0)).collect()),
+            Column::from_f64(
+                "wind",
+                (0..day_count).map(|_| rng.gen_range(0.0..30.0)).collect(),
+            ),
         ],
     )
     .unwrap();
@@ -79,13 +86,17 @@ pub fn taxi(cfg: &ScenarioConfig) -> Scenario {
         vec![
             Column::from_timestamps("date", day_keys),
             Column::from_f64("event_volume", volume),
-            Column::from_i64("permits", (0..day_count).map(|_| rng.gen_range(0..40)).collect()),
+            Column::from_i64(
+                "permits",
+                (0..day_count).map(|_| rng.gen_range(0..40)).collect(),
+            ),
         ],
     )
     .unwrap();
 
-    let key_domain: Vec<Value> =
-        (0..day_count).map(|d| Value::Timestamp(d as i64 * DAY)).collect();
+    let key_domain: Vec<Value> = (0..day_count)
+        .map(|d| Value::Timestamp(d as i64 * DAY))
+        .collect();
     let mut repository = vec![weather, events];
     for k in 0..cfg.n_decoys {
         repository.push(decoy_table(
@@ -116,14 +127,19 @@ pub fn pickup(cfg: &ScenarioConfig) -> Scenario {
     let n = cfg.n_rows;
     // Hourly base timestamps, offset mid-hour so hard joins on raw keys miss.
     let times: Vec<i64> = (0..n).map(|i| i as i64 * HOUR + 1_830).collect();
-    let smooth_temp = |t: i64| 10.0 + 8.0 * (t as f64 / (24.0 * HOUR as f64) * std::f64::consts::TAU).sin();
+    let smooth_temp =
+        |t: i64| 10.0 + 8.0 * (t as f64 / (24.0 * HOUR as f64) * std::f64::consts::TAU).sin();
 
     let target: Vec<f64> = times
         .iter()
         .enumerate()
         .map(|(i, &t)| {
             let hour = (t / HOUR) % 24;
-            let rush = if (7..10).contains(&hour) || (16..19).contains(&hour) { 25.0 } else { 0.0 };
+            let rush = if (7..10).contains(&hour) || (16..19).contains(&hour) {
+                25.0
+            } else {
+                0.0
+            };
             40.0 + rush - 1.5 * smooth_temp(t) + ((i % 7) as f64) + rng.gen_range(-3.0..3.0)
         })
         .collect();
@@ -147,7 +163,10 @@ pub fn pickup(cfg: &ScenarioConfig) -> Scenario {
             Column::from_timestamps("time", wtimes.clone()),
             Column::from_f64(
                 "temp",
-                wtimes.iter().map(|&t| smooth_temp(t) + rng.gen_range(-0.2..0.2)).collect(),
+                wtimes
+                    .iter()
+                    .map(|&t| smooth_temp(t) + rng.gen_range(-0.2..0.2))
+                    .collect(),
             ),
             Column::from_f64(
                 "humidity",
@@ -157,8 +176,9 @@ pub fn pickup(cfg: &ScenarioConfig) -> Scenario {
     )
     .unwrap();
 
-    let key_domain: Vec<Value> =
-        (0..n).map(|i| Value::Timestamp(i as i64 * HOUR + 1_830)).collect();
+    let key_domain: Vec<Value> = (0..n)
+        .map(|i| Value::Timestamp(i as i64 * HOUR + 1_830))
+        .collect();
     let mut repository = vec![weather];
     for k in 0..cfg.n_decoys {
         repository.push(decoy_table(
@@ -198,9 +218,7 @@ pub fn poverty(cfg: &ScenarioConfig) -> Scenario {
         .map(|i| {
             // Interaction term dominates: high unemployment hurts far more
             // where education is low.
-            10.0 + 60.0 * unemp[i] * (1.0 - edu[i])
-                + 5.0 * unemp[i]
-                + 3.0 * (1.0 - edu[i])
+            10.0 + 60.0 * unemp[i] * (1.0 - edu[i]) + 5.0 * unemp[i] + 3.0 * (1.0 - edu[i])
                 - 8.0 * pop_change[i]
                 + rng.gen_range(-0.5..0.5)
         })
@@ -275,8 +293,7 @@ pub fn school(cfg: &ScenarioConfig, large: bool) -> Scenario {
 
     let labels: Vec<&str> = (0..n)
         .map(|i| {
-            let score = 0.4 * funding[i] + 0.08 * income[i]
-                - 0.001 * enrollment[i]
+            let score = 0.4 * funding[i] + 0.08 * income[i] - 0.001 * enrollment[i]
                 + rng.gen_range(-1.5..1.5);
             if score > 8.0 {
                 "pass"
@@ -311,12 +328,19 @@ pub fn school(cfg: &ScenarioConfig, large: bool) -> Scenario {
         vec![
             Column::from_i64("school_id", school_id.clone()),
             Column::from_f64("median_income", income),
-            Column::from_f64("density", (0..n).map(|_| rng.gen_range(0.1..10.0)).collect()),
+            Column::from_f64(
+                "density",
+                (0..n).map(|_| rng.gen_range(0.1..10.0)).collect(),
+            ),
         ],
     )
     .unwrap();
 
-    let n_decoys = if large { cfg.n_decoys.max(348) } else { cfg.n_decoys.min(14) };
+    let n_decoys = if large {
+        cfg.n_decoys.max(348)
+    } else {
+        cfg.n_decoys.min(14)
+    };
     let key_domain: Vec<Value> = school_id.iter().map(|&s| Value::Int(s)).collect();
     let mut repository = vec![funding_table, demographics];
     for k in 0..n_decoys {
@@ -330,7 +354,11 @@ pub fn school(cfg: &ScenarioConfig, large: bool) -> Scenario {
     }
 
     Scenario {
-        name: if large { "school_l".into() } else { "school_s".into() },
+        name: if large {
+            "school_l".into()
+        } else {
+            "school_s".into()
+        },
         base,
         repository: shuffled(repository, cfg.seed.wrapping_add(3)),
         target: "result".into(),
@@ -344,7 +372,11 @@ mod tests {
     use super::*;
 
     fn cfg(n_decoys: usize) -> ScenarioConfig {
-        ScenarioConfig { n_rows: 120, n_decoys, seed: 42 }
+        ScenarioConfig {
+            n_rows: 120,
+            n_decoys,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -363,7 +395,10 @@ mod tests {
     fn pickup_weather_is_finer_granularity() {
         let s = pickup(&cfg(5));
         let w = s.table("weather_minute").unwrap();
-        assert!(w.n_rows() > s.base.n_rows(), "minute weather has more rows than hourly base");
+        assert!(
+            w.n_rows() > s.base.n_rows(),
+            "minute weather has more rows than hourly base"
+        );
         // Base keys offset mid-hour: no exact matches with 5-min weather grid.
         let base_keys: Vec<i64> = s
             .base
@@ -390,7 +425,14 @@ mod tests {
         let small = school(&cfg(14), false);
         assert_eq!(small.repository.len(), 16);
         assert!(small.classification);
-        let large = school(&ScenarioConfig { n_rows: 60, n_decoys: 348, seed: 1 }, true);
+        let large = school(
+            &ScenarioConfig {
+                n_rows: 60,
+                n_decoys: 348,
+                seed: 1,
+            },
+            true,
+        );
         assert_eq!(large.repository.len(), 350);
         assert_eq!(large.name, "school_l");
     }

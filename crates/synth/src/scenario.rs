@@ -15,7 +15,11 @@ pub struct ScenarioConfig {
 
 impl Default for ScenarioConfig {
     fn default() -> Self {
-        ScenarioConfig { n_rows: 400, n_decoys: 20, seed: 0 }
+        ScenarioConfig {
+            n_rows: 400,
+            n_decoys: 20,
+            seed: 0,
+        }
     }
 }
 

@@ -57,17 +57,26 @@ pub struct Column {
 impl Column {
     /// Create a column from raw storage.
     pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
-        Column { name: name.into(), data }
+        Column {
+            name: name.into(),
+            data,
+        }
     }
 
     /// Non-null integer column.
     pub fn from_i64(name: impl Into<String>, values: Vec<i64>) -> Self {
-        Column::new(name, ColumnData::Int(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Int(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Non-null float column.
     pub fn from_f64(name: impl Into<String>, values: Vec<f64>) -> Self {
-        Column::new(name, ColumnData::Float(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Float(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Nullable float column.
@@ -90,7 +99,10 @@ impl Column {
 
     /// Non-null owned-string column.
     pub fn from_strings(name: impl Into<String>, values: Vec<String>) -> Self {
-        Column::new(name, ColumnData::Str(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Str(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Nullable string column.
@@ -100,12 +112,18 @@ impl Column {
 
     /// Non-null boolean column.
     pub fn from_bool(name: impl Into<String>, values: Vec<bool>) -> Self {
-        Column::new(name, ColumnData::Bool(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Bool(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Non-null timestamp column (integer ticks).
     pub fn from_timestamps(name: impl Into<String>, values: Vec<i64>) -> Self {
-        Column::new(name, ColumnData::Timestamp(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Timestamp(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Build a column of `dtype` from dynamically typed values, converting
@@ -240,7 +258,10 @@ impl Column {
     /// Checked row access.
     pub fn try_get(&self, i: usize) -> Result<Value> {
         if i >= self.len() {
-            return Err(TableError::RowOutOfBounds { index: i, len: self.len() });
+            return Err(TableError::RowOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
         }
         Ok(self.get(i))
     }
@@ -269,7 +290,10 @@ impl Column {
             ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
             ColumnData::Timestamp(v) => ColumnData::Timestamp(gather(v, indices)),
         };
-        Column { name: self.name.clone(), data }
+        Column {
+            name: self.name.clone(),
+            data,
+        }
     }
 
     /// Gather rows at optional `indices`; `None` produces a null row. This is
@@ -285,7 +309,10 @@ impl Column {
             ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
             ColumnData::Timestamp(v) => ColumnData::Timestamp(gather(v, indices)),
         };
-        Column { name: self.name.clone(), data }
+        Column {
+            name: self.name.clone(),
+            data,
+        }
     }
 
     /// All values as `f64` with nulls/non-numerics as `None`.
@@ -351,7 +378,11 @@ impl Column {
         }
         vals.sort_by(|a, b| a.total_cmp(b));
         let mid = vals.len() / 2;
-        Some(if vals.len() % 2 == 0 { (vals[mid - 1] + vals[mid]) / 2.0 } else { vals[mid] })
+        Some(if vals.len().is_multiple_of(2) {
+            (vals[mid - 1] + vals[mid]) / 2.0
+        } else {
+            vals[mid]
+        })
     }
 
     /// Distinct non-null values (order of first appearance).
@@ -460,7 +491,10 @@ mod tests {
     fn try_get_bounds() {
         let c = Column::from_i64("a", vec![1]);
         assert!(c.try_get(0).is_ok());
-        assert!(matches!(c.try_get(5), Err(TableError::RowOutOfBounds { .. })));
+        assert!(matches!(
+            c.try_get(5),
+            Err(TableError::RowOutOfBounds { .. })
+        ));
     }
 
     #[test]

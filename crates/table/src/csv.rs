@@ -70,12 +70,17 @@ fn unify(a: Inferred, b: Inferred) -> Inferred {
 /// line is a record of empty (null) fields — only the final trailing
 /// newline is ignored.
 pub fn read_csv_str(name: &str, text: &str) -> Result<Table> {
-    let mut raw: Vec<&str> = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l)).collect();
+    let mut raw: Vec<&str> = text
+        .split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .collect();
     if raw.last() == Some(&"") {
         raw.pop();
     }
     let mut lines = raw.into_iter();
-    let header = lines.next().ok_or_else(|| TableError::Csv("empty input".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| TableError::Csv("empty input".into()))?;
     if header.trim().is_empty() {
         return Err(TableError::Csv("empty header".into()));
     }
@@ -111,13 +116,19 @@ pub fn read_csv_str(name: &str, text: &str) -> Result<Table> {
             Inferred::Int => ColumnData::Int(
                 cells[c]
                     .iter()
-                    .map(|v| v.as_deref().map(|s| s.parse::<i64>().expect("inferred int")))
+                    .map(|v| {
+                        v.as_deref()
+                            .map(|s| s.parse::<i64>().expect("inferred int"))
+                    })
                     .collect(),
             ),
             Inferred::Float => ColumnData::Float(
                 cells[c]
                     .iter()
-                    .map(|v| v.as_deref().map(|s| s.parse::<f64>().expect("inferred float")))
+                    .map(|v| {
+                        v.as_deref()
+                            .map(|s| s.parse::<f64>().expect("inferred float"))
+                    })
                     .collect(),
             ),
             Inferred::Bool => ColumnData::Bool(
@@ -156,8 +167,7 @@ fn escape(field: &str) -> String {
 /// Write a table as CSV (nulls become empty fields).
 pub fn write_csv(table: &Table, mut out: impl Write) -> Result<()> {
     let io_err = |e: std::io::Error| TableError::Csv(e.to_string());
-    let header: Vec<String> =
-        table.columns().iter().map(|c| escape(c.name())).collect();
+    let header: Vec<String> = table.columns().iter().map(|c| escape(c.name())).collect();
     writeln!(out, "{}", header.join(",")).map_err(io_err)?;
     for i in 0..table.n_rows() {
         let row: Vec<String> = table
@@ -184,8 +194,7 @@ mod tests {
 
     #[test]
     fn parses_types_and_nulls() {
-        let t = read_csv_str("t", "id,price,name,flag\n1,2.5,apple,true\n2,,pear,false\n")
-            .unwrap();
+        let t = read_csv_str("t", "id,price,name,flag\n1,2.5,apple,true\n2,,pear,false\n").unwrap();
         assert_eq!(t.n_rows(), 2);
         assert_eq!(t.column("id").unwrap().dtype(), DataType::Int);
         assert_eq!(t.column("price").unwrap().dtype(), DataType::Float);
@@ -211,7 +220,10 @@ mod tests {
     fn quoted_fields() {
         let t = read_csv_str("t", "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n").unwrap();
         assert_eq!(t.column("a").unwrap().get(0), Value::Str("x,y".into()));
-        assert_eq!(t.column("b").unwrap().get(0), Value::Str("he said \"hi\"".into()));
+        assert_eq!(
+            t.column("b").unwrap().get(0),
+            Value::Str("he said \"hi\"".into())
+        );
     }
 
     #[test]
@@ -233,11 +245,7 @@ mod tests {
 
     #[test]
     fn write_escapes_commas() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_str("s", vec!["a,b"])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_str("s", vec!["a,b"])]).unwrap();
         let mut buf = Vec::new();
         write_csv(&t, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("\"a,b\""));

@@ -6,12 +6,18 @@ use std::fmt;
 /// Render at most `max_rows` rows as an aligned ASCII grid.
 pub fn render(table: &Table, max_rows: usize) -> String {
     let n_show = table.n_rows().min(max_rows);
-    let mut widths: Vec<usize> =
-        table.columns().iter().map(|c| c.name().chars().count()).collect();
+    let mut widths: Vec<usize> = table
+        .columns()
+        .iter()
+        .map(|c| c.name().chars().count())
+        .collect();
     let mut rows: Vec<Vec<String>> = Vec::with_capacity(n_show);
     for i in 0..n_show {
-        let row: Vec<String> =
-            table.columns().iter().map(|c| c.get(i).to_string()).collect();
+        let row: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| c.get(i).to_string())
+            .collect();
         for (w, cell) in widths.iter_mut().zip(&row) {
             *w = (*w).max(cell.chars().count());
         }

@@ -10,9 +10,17 @@ pub enum TableError {
     /// A column with the given name already exists.
     DuplicateColumn(String),
     /// Columns in a table (or an operation across tables) disagree on length.
-    LengthMismatch { expected: usize, actual: usize, context: String },
+    LengthMismatch {
+        expected: usize,
+        actual: usize,
+        context: String,
+    },
     /// The operation required a different column type.
-    TypeMismatch { column: String, expected: String, actual: String },
+    TypeMismatch {
+        column: String,
+        expected: String,
+        actual: String,
+    },
     /// A row index was out of bounds.
     RowOutOfBounds { index: usize, len: usize },
     /// CSV parsing failed.
@@ -26,11 +34,25 @@ impl fmt::Display for TableError {
         match self {
             TableError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
             TableError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
-            TableError::LengthMismatch { expected, actual, context } => {
-                write!(f, "length mismatch in {context}: expected {expected}, got {actual}")
+            TableError::LengthMismatch {
+                expected,
+                actual,
+                context,
+            } => {
+                write!(
+                    f,
+                    "length mismatch in {context}: expected {expected}, got {actual}"
+                )
             }
-            TableError::TypeMismatch { column, expected, actual } => {
-                write!(f, "type mismatch for column {column}: expected {expected}, got {actual}")
+            TableError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "type mismatch for column {column}: expected {expected}, got {actual}"
+                )
             }
             TableError::RowOutOfBounds { index, len } => {
                 write!(f, "row index {index} out of bounds for table of {len} rows")
@@ -55,7 +77,11 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = TableError::LengthMismatch { expected: 3, actual: 5, context: "add_column".into() };
+        let e = TableError::LengthMismatch {
+            expected: 3,
+            actual: 5,
+            context: "add_column".into(),
+        };
         assert!(e.to_string().contains("expected 3"));
         assert!(e.to_string().contains("got 5"));
     }

@@ -57,7 +57,11 @@ pub struct AggExpr {
 impl AggExpr {
     /// Convenience constructor.
     pub fn new(column: impl Into<String>, agg: Aggregation) -> Self {
-        AggExpr { column: column.into(), agg, alias: None }
+        AggExpr {
+            column: column.into(),
+            agg,
+            alias: None,
+        }
     }
 
     /// Set the output column name.
@@ -137,8 +141,7 @@ impl<'a> GroupBy<'a> {
             out_cols.iter().map(|c| c.name().to_string()).collect();
         for expr in exprs {
             let src = self.table.column(&expr.column)?;
-            let mut name =
-                expr.alias.clone().unwrap_or_else(|| expr.column.clone());
+            let mut name = expr.alias.clone().unwrap_or_else(|| expr.column.clone());
             if used.contains(&name) {
                 name = format!("{}_{}", expr.column, agg_suffix(expr.agg));
             }
@@ -245,7 +248,10 @@ fn aggregate_column(
             let mut out: Vec<Value> = Vec::with_capacity(groups.len());
             for g in groups {
                 out.push(
-                    g.iter().map(|&i| src.get(i)).find(|v| !v.is_null()).unwrap_or(Value::Null),
+                    g.iter()
+                        .map(|&i| src.get(i))
+                        .find(|v| !v.is_null())
+                        .unwrap_or(Value::Null),
                 );
             }
             Column::from_values(name, src.dtype(), out)
@@ -256,7 +262,7 @@ fn aggregate_column(
 fn median_of(mut vals: Vec<f64>) -> f64 {
     vals.sort_by(|a, b| a.total_cmp(b));
     let mid = vals.len() / 2;
-    if vals.len() % 2 == 0 {
+    if vals.len().is_multiple_of(2) {
         (vals[mid - 1] + vals[mid]) / 2.0
     } else {
         vals[mid]
@@ -355,11 +361,17 @@ mod tests {
     fn min_max_median() {
         let t = sample();
         let gb = GroupBy::new(&t, &["store"]).unwrap();
-        let out = gb.aggregate(&[AggExpr::new("amount", Aggregation::Max)]).unwrap();
+        let out = gb
+            .aggregate(&[AggExpr::new("amount", Aggregation::Max)])
+            .unwrap();
         assert_eq!(out.column("amount").unwrap().get_f64(0), Some(50.0));
-        let out = gb.aggregate(&[AggExpr::new("amount", Aggregation::Min)]).unwrap();
+        let out = gb
+            .aggregate(&[AggExpr::new("amount", Aggregation::Min)])
+            .unwrap();
         assert_eq!(out.column("amount").unwrap().get_f64(1), Some(20.0));
-        let out = gb.aggregate(&[AggExpr::new("amount", Aggregation::Median)]).unwrap();
+        let out = gb
+            .aggregate(&[AggExpr::new("amount", Aggregation::Median)])
+            .unwrap();
         assert_eq!(out.column("amount").unwrap().get_f64(0), Some(30.0));
     }
 
@@ -367,7 +379,9 @@ mod tests {
     fn mode_picks_most_frequent() {
         let t = sample();
         let gb = GroupBy::new(&t, &["store"]).unwrap();
-        let out = gb.aggregate(&[AggExpr::new("clerk", Aggregation::Mode)]).unwrap();
+        let out = gb
+            .aggregate(&[AggExpr::new("clerk", Aggregation::Mode)])
+            .unwrap();
         assert_eq!(out.column("clerk").unwrap().get(0), Value::Str("x".into()));
     }
 
@@ -392,7 +406,9 @@ mod tests {
         )
         .unwrap();
         let gb = GroupBy::new(&t, &["k"]).unwrap();
-        let out = gb.aggregate(&[AggExpr::new("v", Aggregation::Sum)]).unwrap();
+        let out = gb
+            .aggregate(&[AggExpr::new("v", Aggregation::Sum)])
+            .unwrap();
         assert_eq!(out.n_rows(), 1);
         assert_eq!(out.column("v").unwrap().get_f64(0), Some(4.0));
     }
@@ -409,7 +425,9 @@ mod tests {
         )
         .unwrap();
         let gb = GroupBy::new(&t, &["a", "b"]).unwrap();
-        let out = gb.aggregate(&[AggExpr::new("v", Aggregation::Mean)]).unwrap();
+        let out = gb
+            .aggregate(&[AggExpr::new("v", Aggregation::Mean)])
+            .unwrap();
         assert_eq!(out.n_rows(), 2);
         assert_eq!(out.column("v").unwrap().get_f64(0), Some(2.0));
     }
@@ -418,7 +436,9 @@ mod tests {
     fn mean_on_string_column_errors() {
         let t = sample();
         let gb = GroupBy::new(&t, &["store"]).unwrap();
-        assert!(gb.aggregate(&[AggExpr::new("clerk", Aggregation::Mean)]).is_err());
+        assert!(gb
+            .aggregate(&[AggExpr::new("clerk", Aggregation::Mean)])
+            .is_err());
     }
 
     #[test]
@@ -432,7 +452,9 @@ mod tests {
         )
         .unwrap();
         let gb = GroupBy::new(&t, &["k"]).unwrap();
-        let out = gb.aggregate(&[AggExpr::new("v", Aggregation::First)]).unwrap();
+        let out = gb
+            .aggregate(&[AggExpr::new("v", Aggregation::First)])
+            .unwrap();
         assert_eq!(out.column("v").unwrap().get_f64(0), Some(7.0));
     }
 }

@@ -22,7 +22,10 @@ pub enum DataType {
 impl DataType {
     /// True for types with a meaningful numeric embedding.
     pub fn is_numeric(self) -> bool {
-        matches!(self, DataType::Int | DataType::Float | DataType::Timestamp | DataType::Bool)
+        matches!(
+            self,
+            DataType::Int | DataType::Float | DataType::Timestamp | DataType::Bool
+        )
     }
 }
 
@@ -51,7 +54,10 @@ pub struct Field {
 impl Field {
     /// Create a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 

@@ -38,7 +38,10 @@ impl Table {
 
     /// An empty, zero-column table.
     pub fn empty(name: impl Into<String>) -> Self {
-        Table { name: name.into(), columns: Vec::new() }
+        Table {
+            name: name.into(),
+            columns: Vec::new(),
+        }
     }
 
     /// Table name.
@@ -69,7 +72,10 @@ impl Table {
     /// The table's schema (derived from its columns).
     pub fn schema(&self) -> Schema {
         Schema::new(
-            self.columns.iter().map(|c| Field::new(c.name(), c.dtype())).collect(),
+            self.columns
+                .iter()
+                .map(|c| Field::new(c.name(), c.dtype()))
+                .collect(),
         )
         .expect("table invariant guarantees unique column names")
     }
@@ -140,7 +146,10 @@ impl Table {
     pub fn take_opt(&self, indices: &[Option<usize>]) -> Result<Table> {
         let n = self.n_rows();
         if let Some(bad) = indices.iter().flatten().find(|&&i| i >= n) {
-            return Err(TableError::RowOutOfBounds { index: *bad, len: n });
+            return Err(TableError::RowOutOfBounds {
+                index: *bad,
+                len: n,
+            });
         }
         let cols = self.columns.iter().map(|c| c.take_opt(indices)).collect();
         Table::new(self.name.clone(), cols)
@@ -161,7 +170,10 @@ impl Table {
     /// Dynamically typed row view.
     pub fn row(&self, i: usize) -> Result<Vec<Value>> {
         if i >= self.n_rows() {
-            return Err(TableError::RowOutOfBounds { index: i, len: self.n_rows() });
+            return Err(TableError::RowOutOfBounds {
+                index: i,
+                len: self.n_rows(),
+            });
         }
         Ok(self.columns.iter().map(|c| c.get(i)).collect())
     }
@@ -184,15 +196,19 @@ impl Table {
     /// Join keys for the given key columns, one entry per row. `None` marks a
     /// row whose key contains a null (it will never match).
     pub fn keys(&self, key_columns: &[&str]) -> Result<Vec<Option<Key>>> {
-        let cols: Vec<&Column> =
-            key_columns.iter().map(|n| self.column(n)).collect::<Result<_>>()?;
+        let cols: Vec<&Column> = key_columns
+            .iter()
+            .map(|n| self.column(n))
+            .collect::<Result<_>>()?;
         let n = self.n_rows();
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             if cols.len() == 1 {
                 out.push(cols[0].get(i).key());
             } else {
-                out.push(Key::composite(cols.iter().map(|c| c.get(i).key()).collect()));
+                out.push(Key::composite(
+                    cols.iter().map(|c| c.get(i).key()).collect(),
+                ));
             }
         }
         Ok(out)
@@ -247,7 +263,11 @@ impl Table {
 
     /// Names of columns whose dtype is numeric.
     pub fn numeric_column_names(&self) -> Vec<&str> {
-        self.columns.iter().filter(|c| c.dtype().is_numeric()).map(|c| c.name()).collect()
+        self.columns
+            .iter()
+            .filter(|c| c.dtype().is_numeric())
+            .map(|c| c.name())
+            .collect()
     }
 
     /// Names of string (categorical) columns.
@@ -285,7 +305,10 @@ mod tests {
     fn construction_validates_lengths() {
         let err = Table::new(
             "bad",
-            vec![Column::from_i64("a", vec![1]), Column::from_i64("b", vec![1, 2])],
+            vec![
+                Column::from_i64("a", vec![1]),
+                Column::from_i64("b", vec![1, 2]),
+            ],
         );
         assert!(matches!(err, Err(TableError::LengthMismatch { .. })));
     }
@@ -294,7 +317,10 @@ mod tests {
     fn construction_validates_unique_names() {
         let err = Table::new(
             "bad",
-            vec![Column::from_i64("a", vec![1]), Column::from_f64("a", vec![1.0])],
+            vec![
+                Column::from_i64("a", vec![1]),
+                Column::from_f64("a", vec![1.0]),
+            ],
         );
         assert!(matches!(err, Err(TableError::DuplicateColumn(_))));
     }
@@ -338,11 +364,7 @@ mod tests {
 
     #[test]
     fn sort_by_column() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_f64("v", vec![3.0, 1.0, 2.0])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_f64("v", vec![3.0, 1.0, 2.0])]).unwrap();
         let s = t.sort_by("v").unwrap();
         assert_eq!(s.column("v").unwrap().get_f64(0), Some(1.0));
         assert_eq!(s.column("v").unwrap().get_f64(2), Some(3.0));
@@ -360,11 +382,7 @@ mod tests {
 
     #[test]
     fn keys_null_rows_excluded() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_i64_opt("k", vec![Some(1), None])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_i64_opt("k", vec![Some(1), None])]).unwrap();
         let keys = t.keys(&["k"]).unwrap();
         assert!(keys[0].is_some());
         assert!(keys[1].is_none());
@@ -373,11 +391,7 @@ mod tests {
     #[test]
     fn hstack_renames_collisions() {
         let a = sample();
-        let b = Table::new(
-            "weather",
-            vec![Column::from_f64("x", vec![9.0, 8.0, 7.0])],
-        )
-        .unwrap();
+        let b = Table::new("weather", vec![Column::from_f64("x", vec![9.0, 8.0, 7.0])]).unwrap();
         let j = a.hstack(&b).unwrap();
         assert_eq!(j.n_cols(), 4);
         assert!(j.column("weather.x").is_ok());
@@ -403,10 +417,15 @@ mod tests {
     #[test]
     fn add_drop_column() {
         let mut t = sample();
-        t.add_column(Column::from_bool("flag", vec![true, false, true])).unwrap();
+        t.add_column(Column::from_bool("flag", vec![true, false, true]))
+            .unwrap();
         assert_eq!(t.n_cols(), 4);
-        assert!(t.add_column(Column::from_bool("flag", vec![true, false, true])).is_err());
-        assert!(t.add_column(Column::from_bool("short", vec![true])).is_err());
+        assert!(t
+            .add_column(Column::from_bool("flag", vec![true, false, true]))
+            .is_err());
+        assert!(t
+            .add_column(Column::from_bool("short", vec![true]))
+            .is_err());
         let c = t.drop_column("flag").unwrap();
         assert_eq!(c.name(), "flag");
         assert!(t.drop_column("flag").is_err());
@@ -423,7 +442,10 @@ mod tests {
     fn row_view() {
         let t = sample();
         let r = t.row(1).unwrap();
-        assert_eq!(r, vec![Value::Int(2), Value::Float(1.5), Value::Str("b".into())]);
+        assert_eq!(
+            r,
+            vec![Value::Int(2), Value::Float(1.5), Value::Str("b".into())]
+        );
         assert!(t.row(10).is_err());
     }
 

@@ -249,7 +249,12 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_numerics_together() {
-        let mut vals = vec![Value::Float(2.5), Value::Int(1), Value::Timestamp(3), Value::Null];
+        let mut vals = [
+            Value::Float(2.5),
+            Value::Int(1),
+            Value::Timestamp(3),
+            Value::Null,
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(1));

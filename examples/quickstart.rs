@@ -13,7 +13,9 @@ fn main() {
         vec![
             Column::from_str(
                 "city",
-                (0..60).map(|i| ["boston", "nyc", "chicago"][i % 3]).collect(),
+                (0..60)
+                    .map(|i| ["boston", "nyc", "chicago"][i % 3])
+                    .collect(),
             ),
             Column::from_timestamps("day", (0..60).map(|i| (i as i64 / 3) * 86_400).collect()),
             Column::from_f64(
@@ -60,21 +62,29 @@ fn main() {
     println!("discovered {} candidate join(s):", candidates.len());
     for c in &candidates {
         println!(
-            "  {} . {} ≈ {} . {}  [{:?}, score {:.2}]",
-            "rides", c.base_key, c.table_name, c.foreign_key, c.kind, c.score
+            "  rides . {} ≈ {} . {}  [{:?}, score {:.2}]",
+            c.base_key, c.table_name, c.foreign_key, c.kind, c.score
         );
     }
 
     // Run the full ARDA pipeline with RIFS feature selection.
     let config = ArdaConfig {
-        selector: SelectorKind::Rifs(RifsConfig { repeats: 5, ..Default::default() }),
+        selector: SelectorKind::Rifs(RifsConfig {
+            repeats: 5,
+            ..Default::default()
+        }),
         ..Default::default()
     };
-    let report = Arda::new(config).augment(&base, &repo, &candidates, "rides").unwrap();
+    let report = Arda::new(config)
+        .augment(&base, &repo, &candidates, "rides")
+        .unwrap();
 
     println!("\nbase-table score (R²):      {:+.3}", report.base_score);
     println!("augmented score (R²):       {:+.3}", report.augmented_score);
-    println!("improvement:                {:+.1}%", report.improvement_pct());
+    println!(
+        "improvement:                {:+.1}%",
+        report.improvement_pct()
+    );
     println!("joins executed:             {}", report.joins_executed);
     println!("selected foreign columns:");
     for s in &report.selected {

@@ -8,8 +8,14 @@
 use arda::prelude::*;
 
 fn main() {
-    let scenario =
-        arda::synth::school(&ScenarioConfig { n_rows: 400, n_decoys: 14, seed: 3 }, false);
+    let scenario = arda::synth::school(
+        &ScenarioConfig {
+            n_rows: 400,
+            n_decoys: 14,
+            seed: 3,
+        },
+        false,
+    );
     let repo = Repository::from_tables(scenario.repository.clone());
     println!(
         "school (S) scenario: {} schools, {} candidate tables; target `{}`\n",
@@ -19,10 +25,25 @@ fn main() {
     );
 
     let selectors: Vec<(&str, SelectorKind)> = vec![
-        ("RIFS", SelectorKind::Rifs(RifsConfig { repeats: 6, ..Default::default() })),
-        ("random forest", SelectorKind::Ranking(RankingMethod::RandomForest)),
-        ("sparse regression", SelectorKind::Ranking(RankingMethod::SparseRegression)),
-        ("mutual info", SelectorKind::Ranking(RankingMethod::MutualInfo)),
+        (
+            "RIFS",
+            SelectorKind::Rifs(RifsConfig {
+                repeats: 6,
+                ..Default::default()
+            }),
+        ),
+        (
+            "random forest",
+            SelectorKind::Ranking(RankingMethod::RandomForest),
+        ),
+        (
+            "sparse regression",
+            SelectorKind::Ranking(RankingMethod::SparseRegression),
+        ),
+        (
+            "mutual info",
+            SelectorKind::Ranking(RankingMethod::MutualInfo),
+        ),
         ("f-test", SelectorKind::Ranking(RankingMethod::FTest)),
         ("relief", SelectorKind::Ranking(RankingMethod::Relief)),
         ("all features", SelectorKind::AllFeatures),
@@ -33,8 +54,14 @@ fn main() {
         "selector", "base acc", "augmented", "Δ%", "time(s)"
     );
     for (name, selector) in selectors {
-        let config = ArdaConfig { selector, seed: 3, ..Default::default() };
-        let report = Arda::new(config).run(&scenario.base, &repo, &scenario.target).unwrap();
+        let config = ArdaConfig {
+            selector,
+            seed: 3,
+            ..Default::default()
+        };
+        let report = Arda::new(config)
+            .run(&scenario.base, &repo, &scenario.target)
+            .unwrap();
         println!(
             "{:<20} {:>10.3} {:>12.3} {:>+8.1} {:>8.1}",
             name,

@@ -13,7 +13,10 @@ fn evaluate(joined: &Table, target: &str, seed: u64) -> (f64, f64) {
     let (imputed, _) = arda::join::impute::impute(joined, seed).unwrap();
     let ds = featurize(&imputed, target, false, &FeaturizeOptions::default()).unwrap();
     let (train, test) = arda::ml::train_test_split(ds.n_samples(), 0.25, seed);
-    let kind = ModelKind::RandomForest { n_trees: 48, max_depth: 12 };
+    let kind = ModelKind::RandomForest {
+        n_trees: 48,
+        max_depth: 12,
+    };
     let r2 = holdout_score(&ds, &kind, &train, &test, seed).unwrap();
     // Also report RMSE for the error view used in Fig. 5.
     let tr = ds.select_rows(&train).unwrap();
@@ -24,7 +27,11 @@ fn evaluate(joined: &Table, target: &str, seed: u64) -> (f64, f64) {
 }
 
 fn main() {
-    let scenario = arda::synth::pickup(&ScenarioConfig { n_rows: 400, n_decoys: 0, seed: 5 });
+    let scenario = arda::synth::pickup(&ScenarioConfig {
+        n_rows: 400,
+        n_decoys: 0,
+        seed: 5,
+    });
     let weather = scenario.table("weather_minute").unwrap().clone();
     println!(
         "pickup scenario: hourly base ({} rows) vs 5-minute weather ({} rows)\n",
@@ -34,8 +41,14 @@ fn main() {
 
     let strategies: Vec<(&str, JoinKind)> = vec![
         ("hard join (raw keys)", JoinKind::Hard),
-        ("nearest neighbour", JoinKind::Soft(SoftMethod::Nearest { tolerance: None })),
-        ("2-way nearest (interp.)", JoinKind::Soft(SoftMethod::TwoWayNearest)),
+        (
+            "nearest neighbour",
+            JoinKind::Soft(SoftMethod::Nearest { tolerance: None }),
+        ),
+        (
+            "2-way nearest (interp.)",
+            JoinKind::Soft(SoftMethod::TwoWayNearest),
+        ),
         ("time-resampled hard", JoinKind::HardTimeResampled),
         (
             "time-resampled 2-way NN",
@@ -43,7 +56,10 @@ fn main() {
         ),
     ];
 
-    println!("{:<26} {:>10} {:>10} {:>14}", "strategy", "R²", "RMSE", "null cells");
+    println!(
+        "{:<26} {:>10} {:>10} {:>14}",
+        "strategy", "R²", "RMSE", "null cells"
+    );
     for (name, kind) in strategies {
         let spec = JoinSpec {
             base_keys: vec!["time".into()],
@@ -56,21 +72,25 @@ fn main() {
         println!("{name:<26} {r2:>10.3} {err:>10.3} {nulls:>14}");
     }
 
-    println!(
-        "\nBaseline (no weather at all): R² {:.3}",
-        {
-            let ds =
-                featurize(&scenario.base, &scenario.target, false, &FeaturizeOptions::default())
-                    .unwrap();
-            let (train, test) = arda::ml::train_test_split(ds.n_samples(), 0.25, 5);
-            holdout_score(
-                &ds,
-                &ModelKind::RandomForest { n_trees: 48, max_depth: 12 },
-                &train,
-                &test,
-                5,
-            )
-            .unwrap()
-        }
-    );
+    println!("\nBaseline (no weather at all): R² {:.3}", {
+        let ds = featurize(
+            &scenario.base,
+            &scenario.target,
+            false,
+            &FeaturizeOptions::default(),
+        )
+        .unwrap();
+        let (train, test) = arda::ml::train_test_split(ds.n_samples(), 0.25, 5);
+        holdout_score(
+            &ds,
+            &ModelKind::RandomForest {
+                n_trees: 48,
+                max_depth: 12,
+            },
+            &train,
+            &test,
+            5,
+        )
+        .unwrap()
+    });
 }

@@ -8,7 +8,9 @@
 use arda::prelude::*;
 
 fn run(label: &str, config: ArdaConfig, scenario: &Scenario, repo: &Repository) {
-    let report = Arda::new(config).run(&scenario.base, repo, &scenario.target).unwrap();
+    let report = Arda::new(config)
+        .run(&scenario.base, repo, &scenario.target)
+        .unwrap();
     println!(
         "{label:<28} base {:+.3}  augmented {:+.3}  ({:+.1}%)  joins {}  tr-cut {}  {:.1}s",
         report.base_score,
@@ -25,7 +27,11 @@ fn run(label: &str, config: ArdaConfig, scenario: &Scenario, repo: &Repository) 
 }
 
 fn main() {
-    let scenario = arda::synth::taxi(&ScenarioConfig { n_rows: 300, n_decoys: 15, seed: 11 });
+    let scenario = arda::synth::taxi(&ScenarioConfig {
+        n_rows: 300,
+        n_decoys: 15,
+        seed: 11,
+    });
     let repo = Repository::from_tables(scenario.repository.clone());
     println!(
         "taxi scenario: {} base rows, {} candidate tables ({} relevant)\n",
@@ -38,7 +44,10 @@ fn main() {
     run(
         "ARDA (RIFS, budget join)",
         ArdaConfig {
-            selector: SelectorKind::Rifs(RifsConfig { repeats: 6, ..Default::default() }),
+            selector: SelectorKind::Rifs(RifsConfig {
+                repeats: 6,
+                ..Default::default()
+            }),
             ..Default::default()
         },
         &scenario,
@@ -62,7 +71,10 @@ fn main() {
     run(
         "ARDA + TR prefilter (τ=5)",
         ArdaConfig {
-            selector: SelectorKind::Rifs(RifsConfig { repeats: 6, ..Default::default() }),
+            selector: SelectorKind::Rifs(RifsConfig {
+                repeats: 6,
+                ..Default::default()
+            }),
             tr_threshold: Some(5.0),
             ..Default::default()
         },

@@ -38,9 +38,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--base" => args.base = PathBuf::from(value("--base")?),
             "--target" => args.target = value("--target")?,
@@ -64,7 +62,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    if args.base.as_os_str().is_empty() || args.target.is_empty() || args.repo.as_os_str().is_empty()
+    if args.base.as_os_str().is_empty()
+        || args.target.is_empty()
+        || args.repo.as_os_str().is_empty()
     {
         return Err(format!("--base, --target and --repo are required\n{USAGE}"));
     }
@@ -113,7 +113,11 @@ fn run() -> Result<(), String> {
     if tables.is_empty() {
         return Err(format!("no .csv files found in {}", args.repo.display()));
     }
-    eprintln!("loaded base ({} rows) + {} repository tables", base.n_rows(), tables.len());
+    eprintln!(
+        "loaded base ({} rows) + {} repository tables",
+        base.n_rows(),
+        tables.len()
+    );
 
     let repo = Repository::from_tables(tables);
     let config = ArdaConfig {

@@ -46,7 +46,10 @@ fn cli_augments_csv_repository() {
     let augmented = arda::table::read_csv(&out).unwrap();
     assert_eq!(augmented.n_rows(), 60);
     assert!(augmented.column("y").is_ok());
-    assert!(augmented.column("boost").is_ok(), "signal column joined and selected");
+    assert!(
+        augmented.column("boost").is_ok(),
+        "signal column joined and selected"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -58,7 +61,10 @@ fn cli_reports_usage_errors() {
         .expect("run arda-cli");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("required") || stderr.contains("usage"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("required") || stderr.contains("usage"),
+        "stderr: {stderr}"
+    );
 }
 
 #[test]

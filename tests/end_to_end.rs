@@ -5,17 +5,32 @@
 use arda::prelude::*;
 
 fn fast_rifs() -> SelectorKind {
-    SelectorKind::Rifs(RifsConfig { repeats: 4, rf_trees: 10, ..Default::default() })
+    SelectorKind::Rifs(RifsConfig {
+        repeats: 4,
+        rf_trees: 10,
+        ..Default::default()
+    })
 }
 
 #[test]
 fn taxi_pipeline_beats_base_and_keeps_rows() {
-    let sc = arda::synth::taxi(&ScenarioConfig { n_rows: 150, n_decoys: 5, seed: 0 });
+    let sc = arda::synth::taxi(&ScenarioConfig {
+        n_rows: 150,
+        n_decoys: 5,
+        seed: 0,
+    });
     let repo = Repository::from_tables(sc.repository.clone());
-    let report = Arda::new(ArdaConfig { selector: fast_rifs(), ..Default::default() })
-        .run(&sc.base, &repo, &sc.target)
-        .unwrap();
-    assert_eq!(report.augmented.n_rows(), sc.base.n_rows(), "LEFT semantics: no fan-out");
+    let report = Arda::new(ArdaConfig {
+        selector: fast_rifs(),
+        ..Default::default()
+    })
+    .run(&sc.base, &repo, &sc.target)
+    .unwrap();
+    assert_eq!(
+        report.augmented.n_rows(),
+        sc.base.n_rows(),
+        "LEFT semantics: no fan-out"
+    );
     assert!(
         report.augmented_score > report.base_score,
         "augmentation must help: {} vs {}",
@@ -24,24 +39,39 @@ fn taxi_pipeline_beats_base_and_keeps_rows() {
     );
     // Every base column must survive.
     for col in sc.base.columns() {
-        assert!(report.augmented.column(col.name()).is_ok(), "{} retained", col.name());
+        assert!(
+            report.augmented.column(col.name()).is_ok(),
+            "{} retained",
+            col.name()
+        );
     }
 }
 
 #[test]
 fn pickup_soft_join_pipeline_runs() {
-    let sc = arda::synth::pickup(&ScenarioConfig { n_rows: 120, n_decoys: 3, seed: 1 });
+    let sc = arda::synth::pickup(&ScenarioConfig {
+        n_rows: 120,
+        n_decoys: 3,
+        seed: 1,
+    });
     let repo = Repository::from_tables(sc.repository.clone());
-    let report = Arda::new(ArdaConfig { selector: fast_rifs(), ..Default::default() })
-        .run(&sc.base, &repo, &sc.target)
-        .unwrap();
+    let report = Arda::new(ArdaConfig {
+        selector: fast_rifs(),
+        ..Default::default()
+    })
+    .run(&sc.base, &repo, &sc.target)
+    .unwrap();
     assert!(report.joins_executed >= 1);
     assert!(report.augmented_score.is_finite());
 }
 
 #[test]
 fn poverty_co_predictors_need_budget_join() {
-    let sc = arda::synth::poverty(&ScenarioConfig { n_rows: 200, n_decoys: 4, seed: 2 });
+    let sc = arda::synth::poverty(&ScenarioConfig {
+        n_rows: 200,
+        n_decoys: 4,
+        seed: 2,
+    });
     let repo = Repository::from_tables(sc.repository.clone());
     let budget = Arda::new(ArdaConfig {
         selector: SelectorKind::Ranking(RankingMethod::RandomForest),
@@ -61,11 +91,22 @@ fn poverty_co_predictors_need_budget_join() {
 
 #[test]
 fn school_classification_improves_accuracy() {
-    let sc = arda::synth::school(&ScenarioConfig { n_rows: 220, n_decoys: 5, seed: 3 }, false);
+    let sc = arda::synth::school(
+        &ScenarioConfig {
+            n_rows: 220,
+            n_decoys: 5,
+            seed: 3,
+        },
+        false,
+    );
     let repo = Repository::from_tables(sc.repository.clone());
-    let report = Arda::new(ArdaConfig { selector: fast_rifs(), seed: 3, ..Default::default() })
-        .run(&sc.base, &repo, &sc.target)
-        .unwrap();
+    let report = Arda::new(ArdaConfig {
+        selector: fast_rifs(),
+        seed: 3,
+        ..Default::default()
+    })
+    .run(&sc.base, &repo, &sc.target)
+    .unwrap();
     assert!(report.base_score > 0.4, "base sane: {}", report.base_score);
     assert!(
         report.augmented_score >= report.base_score,
@@ -77,7 +118,11 @@ fn school_classification_improves_accuracy() {
 
 #[test]
 fn all_join_plans_produce_valid_outputs() {
-    let sc = arda::synth::taxi(&ScenarioConfig { n_rows: 100, n_decoys: 3, seed: 4 });
+    let sc = arda::synth::taxi(&ScenarioConfig {
+        n_rows: 100,
+        n_decoys: 3,
+        seed: 4,
+    });
     let repo = Repository::from_tables(sc.repository.clone());
     for plan in [
         JoinPlan::Table,
@@ -99,24 +144,43 @@ fn all_join_plans_produce_valid_outputs() {
 
 #[test]
 fn coreset_methods_flow_through_pipeline() {
-    let sc = arda::synth::school(&ScenarioConfig { n_rows: 300, n_decoys: 2, seed: 5 }, false);
+    let sc = arda::synth::school(
+        &ScenarioConfig {
+            n_rows: 300,
+            n_decoys: 2,
+            seed: 5,
+        },
+        false,
+    );
     let repo = Repository::from_tables(sc.repository.clone());
     for method in [CoresetMethod::Uniform, CoresetMethod::Stratified] {
         let report = Arda::new(ArdaConfig {
             selector: SelectorKind::Ranking(RankingMethod::FTest),
-            coreset: CoresetSpec { method, size: Some(150), seed: 5 },
+            coreset: CoresetSpec {
+                method,
+                size: Some(150),
+                seed: 5,
+            },
             seed: 5,
             ..Default::default()
         })
         .run(&sc.base, &repo, &sc.target)
         .unwrap();
-        assert_eq!(report.augmented.n_rows(), 150, "{method:?} coreset size respected");
+        assert_eq!(
+            report.augmented.n_rows(),
+            150,
+            "{method:?} coreset size respected"
+        );
     }
 }
 
 #[test]
 fn discovery_feeds_pipeline_with_ranked_candidates() {
-    let sc = arda::synth::taxi(&ScenarioConfig { n_rows: 80, n_decoys: 6, seed: 6 });
+    let sc = arda::synth::taxi(&ScenarioConfig {
+        n_rows: 80,
+        n_decoys: 6,
+        seed: 6,
+    });
     let repo = Repository::from_tables(sc.repository.clone());
     let cands = discover_joins(&sc.base, &repo, &DiscoveryConfig::default()).unwrap();
     assert!(!cands.is_empty());
@@ -133,11 +197,21 @@ fn micro_noise_injection_then_rifs_filters_noise() {
     use arda::select::{rifs_fractions, RifsConfig};
     let micro = arda::synth::kraken(7);
     let noisy = arda::synth::append_noise_columns(&micro, 2, 7);
-    let ds = featurize(&noisy.table, &noisy.target, true, &FeaturizeOptions::default()).unwrap();
+    let ds = featurize(
+        &noisy.table,
+        &noisy.target,
+        true,
+        &FeaturizeOptions::default(),
+    )
+    .unwrap();
     // Subsample rows for test speed.
     let rows: Vec<usize> = (0..300).collect();
     let ds = ds.select_rows(&rows).unwrap();
-    let cfg = RifsConfig { repeats: 4, rf_trees: 10, ..Default::default() };
+    let cfg = RifsConfig {
+        repeats: 4,
+        rf_trees: 10,
+        ..Default::default()
+    };
     let fr = rifs_fractions(&ds, &cfg, 7).unwrap();
 
     // Average fraction of informative sensors must beat average fraction of
@@ -157,7 +231,10 @@ fn micro_noise_injection_then_rifs_filters_noise() {
         .filter(|(n, _)| n.starts_with("synthnoise_"))
         .map(|(_, &f)| f)
         .sum::<f64>()
-        / ds.feature_names.iter().filter(|n| n.starts_with("synthnoise_")).count() as f64;
+        / ds.feature_names
+            .iter()
+            .filter(|n| n.starts_with("synthnoise_"))
+            .count() as f64;
     assert!(
         informative_avg > noise_avg + 0.2,
         "informative {informative_avg:.2} vs noise {noise_avg:.2}"
@@ -166,7 +243,11 @@ fn micro_noise_injection_then_rifs_filters_noise() {
 
 #[test]
 fn csv_round_trip_through_pipeline() {
-    let sc = arda::synth::taxi(&ScenarioConfig { n_rows: 60, n_decoys: 1, seed: 8 });
+    let sc = arda::synth::taxi(&ScenarioConfig {
+        n_rows: 60,
+        n_decoys: 1,
+        seed: 8,
+    });
     // Serialise the base table to CSV and back, then run the pipeline on it.
     let mut buf = Vec::new();
     arda::table::write_csv(&sc.base, &mut buf).unwrap();
@@ -188,7 +269,14 @@ fn csv_round_trip_through_pipeline() {
 
 #[test]
 fn automl_comparator_runs_on_augmented_output() {
-    let sc = arda::synth::school(&ScenarioConfig { n_rows: 150, n_decoys: 2, seed: 9 }, false);
+    let sc = arda::synth::school(
+        &ScenarioConfig {
+            n_rows: 150,
+            n_decoys: 2,
+            seed: 9,
+        },
+        false,
+    );
     let repo = Repository::from_tables(sc.repository.clone());
     let report = Arda::new(ArdaConfig {
         selector: SelectorKind::Ranking(RankingMethod::MutualInfo),
@@ -197,9 +285,18 @@ fn automl_comparator_runs_on_augmented_output() {
     })
     .run(&sc.base, &repo, &sc.target)
     .unwrap();
-    let ds = featurize(&report.augmented, &sc.target, false, &FeaturizeOptions::default())
-        .unwrap();
+    let ds = featurize(
+        &report.augmented,
+        &sc.target,
+        false,
+        &FeaturizeOptions::default(),
+    )
+    .unwrap();
     let automl = automl_search(&ds, std::time::Duration::from_secs(5), 9).unwrap();
-    assert!(automl.best_score > 0.5, "automl score {}", automl.best_score);
+    assert!(
+        automl.best_score > 0.5,
+        "automl score {}",
+        automl.best_score
+    );
     assert!(automl.evaluated >= 1);
 }
