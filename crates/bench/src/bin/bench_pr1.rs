@@ -1,15 +1,20 @@
-//! Perf-trajectory benchmark for PR 1 (parallel execution engine +
-//! cache-blocked linalg): times the five headline hot paths at worker
-//! counts {1, 2, 4, max} and writes `BENCH_PR1.json` so future PRs can
-//! compare against a recorded baseline.
+//! Perf-trajectory benchmark (PR 1 baseline + PR 3 budget scheduler):
+//! times the five headline hot paths at worker counts {1, 2, 4, max},
+//! plus a *nested-oversubscription sweep* — RIFS (injection rounds ×
+//! forest fits × ℓ2,1 solves × blocked linalg, and the parallel τ-sweep)
+//! under the work-budget scheduler — and writes `BENCH_PR1.json` so
+//! future PRs can compare against a recorded baseline.
 //!
 //! ```text
 //! cargo run --release -p arda-bench --bin bench_pr1
 //! ```
 //!
-//! The thread sweep drives `arda_par::set_default_threads`, which every
-//! parallel hot path reads; outputs are identical at every count (see
-//! `tests/par_determinism.rs`), only the wall-clock changes. On a
+//! The thread sweep drives `arda_par::set_default_threads`, which sizes
+//! the global permit pool and every ambient budget; outputs are identical
+//! at every count (see `tests/par_determinism.rs` and
+//! `tests/budget_determinism.rs`), only the wall-clock changes. The nested
+//! sweep additionally records the peak number of live workers per budget
+//! and asserts the oversubscription invariant `peak + 1 <= budget`. On a
 //! single-core host the sweep degenerates gracefully — `speedup` is then
 //! bounded by `available_parallelism`, which the JSON records.
 
@@ -18,8 +23,8 @@ use arda_core::{Arda, ArdaConfig};
 use arda_discovery::Repository;
 use arda_join::{execute_join, JoinSpec, SoftMethod};
 use arda_linalg::Matrix;
-use arda_ml::{ForestConfig, RandomForest, Task};
-use arda_select::{RankingMethod, SelectorKind};
+use arda_ml::{Dataset, ForestConfig, RandomForest, Task};
+use arda_select::{rifs_select, RankingMethod, RifsConfig, SelectionContext, SelectorKind};
 use arda_synth::{taxi, ScenarioConfig};
 use arda_table::{Column, Table};
 use rand::rngs::StdRng;
@@ -192,9 +197,60 @@ fn main() {
         }));
     }
 
+    // 6. nested-oversubscription sweep: full RIFS selection — the deepest
+    //    nesting in the workspace (rounds × forest fits × solver kernels ×
+    //    parallel τ-sweep holdout evaluations) — per budget, recording the
+    //    peak live worker count the permit pool ever allowed.
+    let nested: Vec<(usize, f64, usize)> = {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 260;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let cls = (i % 2) as f64;
+                let mut row = vec![
+                    cls * 3.0 + rng.gen_range(-0.4..0.4),
+                    -cls * 2.0 + rng.gen_range(-0.4..0.4),
+                ];
+                for _ in 0..10 {
+                    row.push(rng.gen_range(-1.0..1.0));
+                }
+                row
+            })
+            .collect();
+        let ds = Dataset::new(
+            Matrix::from_rows(&rows).unwrap(),
+            (0..n).map(|i| (i % 2) as f64).collect(),
+            (0..12).map(|i| format!("f{i}")).collect(),
+            Task::Classification { n_classes: 2 },
+        )
+        .unwrap();
+        let ctx = SelectionContext::standard(&ds, 5);
+        let cfg = RifsConfig {
+            repeats: 6,
+            rf_trees: 16,
+            ..Default::default()
+        };
+        let mut rows_out = Vec::new();
+        for &t in &counts {
+            arda_par::set_default_threads(t);
+            arda_par::reset_spawn_counters();
+            let m = time_op("rifs_nested", WINDOW_SECS, &mut || {
+                black_box(rifs_select(&ds, &ctx, &cfg).unwrap());
+            });
+            let peak = arda_par::peak_spawned_workers() + 1; // + calling thread
+            assert!(peak <= t, "budget {t} oversubscribed: {peak} live workers");
+            println!(
+                "  rifs_nested @ {t} budget: {:.2} ops/sec, peak {} live workers",
+                m.ops_per_sec, peak
+            );
+            rows_out.push((t, m.ops_per_sec, peak));
+        }
+        rows_out
+    };
+
     // ---- JSON report -----------------------------------------------------
     let mut json = String::from("{\n");
-    json.push_str("  \"pr\": 1,\n");
+    json.push_str("  \"pr\": 3,\n");
     json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
     json.push_str(&format!(
         "  \"thread_counts\": [{}],\n",
@@ -225,6 +281,15 @@ fn main() {
         } else {
             "    }\n"
         });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"nested_oversubscription\": [\n");
+    for (i, (t, ops, peak)) in nested.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"budget\": {t}, \"ops_per_sec\": {ops:.4}, \"peak_live_workers\": {peak}, \"budget_respected\": {}}}{}\n",
+            peak <= t,
+            if i + 1 < nested.len() { "," } else { "" }
+        ));
     }
     json.push_str("  ]\n}\n");
 

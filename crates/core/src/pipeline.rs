@@ -213,12 +213,12 @@ impl Arda {
             // twice in one batch (rename then happens at fold time with the
             // table-name prefix rather than hstack's numeric salt). Provenance
             // tracking below uses the folded names, so attribution stays
-            // consistent either way. Multi-candidate
-            // batches pin each join's internal workers to 1 — the
-            // parallelism budget is spent across candidates, not nested
-            // inside them; a lone candidate keeps its internal parallelism.
+            // consistent either way. Each candidate's join runs with its
+            // split of the shared `arda-par` work budget (installed by
+            // `par_map`): a multi-candidate batch spreads the budget across
+            // candidates, a lone candidate keeps all of it, and the permit
+            // pool guarantees the nested scans never oversubscribe.
             let snapshot = &kept;
-            let inner_threads = if batch.len() > 1 { 1 } else { 0 };
             let extra_tables: Vec<Result<Table>> = arda_par::par_map(batch, 0, |_, cand| {
                 let foreign = repo.get(cand.table_index).expect("validated above");
                 let kind = join_kind_for(snapshot, cand, cfg.soft_method);
@@ -228,8 +228,7 @@ impl Arda {
                     kind,
                 };
                 let before: HashSet<&str> = snapshot.columns().iter().map(|c| c.name()).collect();
-                let joined =
-                    execute_join_threads(snapshot, foreign, &spec, cfg.seed, inner_threads)?;
+                let joined = execute_join_threads(snapshot, foreign, &spec, cfg.seed, 0)?;
                 let mut extras = Table::empty(cand.table_name.clone());
                 for col in joined.columns() {
                     if !before.contains(col.name()) {

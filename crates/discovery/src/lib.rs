@@ -160,81 +160,99 @@ fn range_overlap(base: &Table, bcol: &str, foreign: &Table, fcol: &str) -> f64 {
     }
 }
 
+/// Mine and score every candidate of `base` against one repository table,
+/// returning that table's best candidates (descending score, capped).
+fn mine_table(
+    base: &Table,
+    ti: usize,
+    foreign: &Table,
+    cfg: &DiscoveryConfig,
+) -> Result<Vec<CandidateJoin>, TableError> {
+    let mut per_table: Vec<CandidateJoin> = Vec::new();
+    for bcol in base.columns() {
+        if !keyable(bcol.dtype()) {
+            continue;
+        }
+        for fcol in foreign.columns() {
+            if !keyable(fcol.dtype()) || !compatible(bcol.dtype(), fcol.dtype()) {
+                continue;
+            }
+            let stats =
+                join_stats(base, foreign, &[bcol.name()], &[fcol.name()]).map_err(|e| match e {
+                    arda_join::JoinError::Table(t) => t,
+                    other => TableError::Invalid(other.to_string()),
+                })?;
+            let exact = stats.intersection_score();
+            let name_match = bcol.name().eq_ignore_ascii_case(fcol.name())
+                || bcol
+                    .name()
+                    .to_lowercase()
+                    .contains(&fcol.name().to_lowercase())
+                || fcol
+                    .name()
+                    .to_lowercase()
+                    .contains(&bcol.name().to_lowercase());
+
+            let timey = bcol.dtype() == DataType::Timestamp || fcol.dtype() == DataType::Timestamp;
+            let (kind, mut score) = if timey && cfg.enable_soft_keys {
+                // Time keys: proximity matters more than exact equality.
+                let overlap = range_overlap(base, bcol.name(), foreign, fcol.name());
+                (KeyKind::Soft, overlap.max(exact))
+            } else if exact <= 0.02
+                && cfg.enable_soft_keys
+                && bcol.dtype() == DataType::Int
+                && fcol.dtype() == DataType::Int
+            {
+                // Near-zero exact overlap but overlapping ranges →
+                // plausible soft key.
+                let overlap = range_overlap(base, bcol.name(), foreign, fcol.name());
+                if overlap > 0.3 {
+                    (KeyKind::Soft, overlap * 0.5)
+                } else {
+                    (KeyKind::Hard, exact)
+                }
+            } else {
+                (KeyKind::Hard, exact)
+            };
+            if name_match {
+                score += cfg.name_bonus;
+            }
+            if score >= cfg.min_score {
+                per_table.push(CandidateJoin {
+                    table_index: ti,
+                    table_name: foreign.name().to_string(),
+                    base_key: bcol.name().to_string(),
+                    foreign_key: fcol.name().to_string(),
+                    kind,
+                    score,
+                });
+            }
+        }
+    }
+    per_table.sort_by(|a, b| b.score.total_cmp(&a.score));
+    per_table.truncate(cfg.max_candidates_per_table);
+    Ok(per_table)
+}
+
 /// Mine, score and rank candidate joins of `base` against every repository
 /// table. Results are sorted by descending score.
+///
+/// Each table's column-pair scoring (value-overlap statistics over every
+/// compatible pair) is independent of every other table's, so the per-table
+/// mining fans out on the ambient `arda-par` work budget; the ordered
+/// results are folded back in repository order before the global rank, so
+/// the candidate list is identical to the sequential scan at any budget.
 pub fn discover_joins(
     base: &Table,
     repo: &Repository,
     cfg: &DiscoveryConfig,
 ) -> Result<Vec<CandidateJoin>, TableError> {
+    let mined = arda_par::par_map(repo.tables(), 0, |ti, foreign| {
+        mine_table(base, ti, foreign, cfg)
+    });
     let mut all = Vec::new();
-    for (ti, foreign) in repo.tables().iter().enumerate() {
-        let mut per_table: Vec<CandidateJoin> = Vec::new();
-        for bcol in base.columns() {
-            if !keyable(bcol.dtype()) {
-                continue;
-            }
-            for fcol in foreign.columns() {
-                if !keyable(fcol.dtype()) || !compatible(bcol.dtype(), fcol.dtype()) {
-                    continue;
-                }
-                let stats = join_stats(base, foreign, &[bcol.name()], &[fcol.name()]).map_err(
-                    |e| match e {
-                        arda_join::JoinError::Table(t) => t,
-                        other => TableError::Invalid(other.to_string()),
-                    },
-                )?;
-                let exact = stats.intersection_score();
-                let name_match = bcol.name().eq_ignore_ascii_case(fcol.name())
-                    || bcol
-                        .name()
-                        .to_lowercase()
-                        .contains(&fcol.name().to_lowercase())
-                    || fcol
-                        .name()
-                        .to_lowercase()
-                        .contains(&bcol.name().to_lowercase());
-
-                let timey =
-                    bcol.dtype() == DataType::Timestamp || fcol.dtype() == DataType::Timestamp;
-                let (kind, mut score) = if timey && cfg.enable_soft_keys {
-                    // Time keys: proximity matters more than exact equality.
-                    let overlap = range_overlap(base, bcol.name(), foreign, fcol.name());
-                    (KeyKind::Soft, overlap.max(exact))
-                } else if exact <= 0.02
-                    && cfg.enable_soft_keys
-                    && bcol.dtype() == DataType::Int
-                    && fcol.dtype() == DataType::Int
-                {
-                    // Near-zero exact overlap but overlapping ranges →
-                    // plausible soft key.
-                    let overlap = range_overlap(base, bcol.name(), foreign, fcol.name());
-                    if overlap > 0.3 {
-                        (KeyKind::Soft, overlap * 0.5)
-                    } else {
-                        (KeyKind::Hard, exact)
-                    }
-                } else {
-                    (KeyKind::Hard, exact)
-                };
-                if name_match {
-                    score += cfg.name_bonus;
-                }
-                if score >= cfg.min_score {
-                    per_table.push(CandidateJoin {
-                        table_index: ti,
-                        table_name: foreign.name().to_string(),
-                        base_key: bcol.name().to_string(),
-                        foreign_key: fcol.name().to_string(),
-                        kind,
-                        score,
-                    });
-                }
-            }
-        }
-        per_table.sort_by(|a, b| b.score.total_cmp(&a.score));
-        per_table.truncate(cfg.max_candidates_per_table);
-        all.extend(per_table);
+    for per_table in mined {
+        all.extend(per_table?);
     }
     all.sort_by(|a, b| {
         b.score

@@ -4,11 +4,16 @@ use crate::Result;
 use arda_table::{GroupBy, Key, Table};
 use std::collections::HashMap;
 
+/// Base rows below which the probe scan stays sequential.
+const PAR_MIN_ROWS: usize = 4_096;
+
 /// Pre-aggregate `foreign` on its key columns so every key maps to exactly
 /// one row (ARDA §4 "Join Cardinality": one-to-many / many-to-many joins are
 /// reduced to to-one joins by aggregating the foreign side). Numeric columns
-/// take group means, categoricals take the group mode. Tables whose keys are
-/// already unique are returned as-is (cheap check first).
+/// take group means, categoricals take the group mode; the per-column
+/// aggregation scans fan out on the ambient `arda-par` work budget inside
+/// [`GroupBy::aggregate`]. Tables whose keys are already unique are
+/// returned as-is (cheap check first).
 pub fn pre_aggregate(foreign: &Table, keys: &[&str]) -> Result<Table> {
     let key_values = foreign.keys(keys)?;
     let mut seen: std::collections::HashSet<&Key> = std::collections::HashSet::new();
@@ -50,11 +55,13 @@ pub fn left_hard_join(
         }
     }
 
+    // Probe scan: each base row's lookup is independent, so large bases
+    // fan out on the ambient work budget (results stay in row order).
     let bkeys = base.keys(base_keys)?;
-    let matches: Vec<Option<usize>> = bkeys
-        .into_iter()
-        .map(|k| k.and_then(|k| index.get(&k).copied()))
-        .collect();
+    let threads = arda_par::threads_for(0, bkeys.len(), PAR_MIN_ROWS);
+    let matches: Vec<Option<usize>> = arda_par::par_map(&bkeys, threads, |_, k| {
+        k.as_ref().and_then(|k| index.get(k).copied())
+    });
 
     // Gather matched foreign rows (nulls where unmatched), minus key columns.
     let value_names: Vec<&str> = foreign

@@ -140,9 +140,10 @@ pub fn execute_join(base: &Table, foreign: &Table, spec: &JoinSpec, seed: u64) -
 }
 
 /// [`execute_join`] with an explicit cap on the join's internal worker
-/// count (`0` = automatic). Callers that already fan out over candidate
-/// joins (the pipeline's batch executor) pass `1` to avoid nesting
-/// parallelism inside parallelism.
+/// count (`0` = the ambient `arda-par` work budget). Callers that already
+/// fan out over candidate joins (the pipeline's batch executor) can leave
+/// the cap at 0: each join plans with its split of the shared budget, so
+/// nesting cannot oversubscribe.
 pub fn execute_join_threads(
     base: &Table,
     foreign: &Table,

@@ -78,8 +78,9 @@ impl SoftKeyIndex {
     }
 
     /// Worker count for a scan over `n_rows` base rows: an explicit caller
-    /// cap wins (the pipeline pins inner joins to 1 when it already fans
-    /// out over candidates), otherwise small scans stay sequential.
+    /// cap wins, otherwise small scans stay sequential and large ones plan
+    /// with the ambient work budget (the pipeline's batch fan-out installs
+    /// each candidate's split, so nested joins never oversubscribe).
     fn scan_threads(n_rows: usize, requested: usize) -> usize {
         arda_par::threads_for(requested, n_rows, PAR_MIN_ROWS)
     }

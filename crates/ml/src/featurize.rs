@@ -93,8 +93,9 @@ pub fn featurize(
 
     // ----- features -----
     // Each source column encodes independently, so the per-column work runs
-    // through `par_map`; the ordered results are flattened in table column
-    // order, matching the sequential encoding exactly.
+    // through `par_map` on the ambient work budget; the ordered results are
+    // flattened in table column order, matching the sequential encoding
+    // exactly at any budget size.
     let feature_cols: Vec<&Column> = table
         .columns()
         .iter()

@@ -32,7 +32,8 @@ pub struct ForestConfig {
     pub bootstrap: bool,
     /// Master RNG seed.
     pub seed: u64,
-    /// Worker threads: `0` = the `arda-par` global default (`ARDA_THREADS`),
+    /// Worker threads: `0` = the ambient `arda-par` work budget
+    /// (`ARDA_THREADS` at top level, the stage's split when nested),
     /// `1` = sequential, otherwise an explicit count.
     pub n_threads: usize,
 }
@@ -116,10 +117,12 @@ impl RandomForest {
         };
 
         // Every tree is fully determined by its pre-drawn (seed, rows) job,
-        // so `par_map`'s ordered results are identical at any thread count.
-        let threads = arda_par::resolve_threads(cfg.n_threads).min(cfg.n_trees);
+        // so `par_map`'s ordered results are identical at any thread count
+        // or work-budget size; each tree fit plans with its split of the
+        // ambient budget, so nesting a fit under RIFS rounds or the τ-sweep
+        // cannot oversubscribe.
         let trees: Vec<DecisionTree> =
-            arda_par::par_map(&jobs, threads, |_, (s, rows)| fit_one(*s, rows))
+            arda_par::par_map(&jobs, cfg.n_threads, |_, (s, rows)| fit_one(*s, rows))
                 .into_iter()
                 .collect::<Result<_>>()?;
 

@@ -29,9 +29,10 @@ pub fn nearest_neighbors(
     nearest_neighbors_threads(x, query, k, filter, 0)
 }
 
-/// [`nearest_neighbors`] with an explicit worker cap (`0` = automatic).
-/// Callers already running many scans concurrently (Relief's anchor loop)
-/// pin this to 1 to avoid nesting parallelism.
+/// [`nearest_neighbors`] with an explicit worker cap (`0` = the ambient
+/// `arda-par` work budget). Callers already running many scans concurrently
+/// (Relief's anchor loop) can leave this at 0: each scan plans with its
+/// split of the shared budget, so nesting cannot oversubscribe.
 pub fn nearest_neighbors_threads(
     x: &Matrix,
     query: usize,

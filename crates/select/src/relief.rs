@@ -77,10 +77,11 @@ pub fn relief_scores(x: &Matrix, y: &[f64], task: Task, cfg: &ReliefConfig) -> V
     // datasets stay sequential (the per-anchor scan costs ~n·d work).
     let threads = arda_par::threads_for(0, anchors.len() * n * d, PAR_MIN_WORK);
     let deltas: Vec<Option<Vec<f64>>> = arda_par::par_map(&anchors, threads, |_, &i| {
-        // Inner scans pinned to 1 worker: the anchor loop above already
-        // spends the parallelism budget.
-        let hits = nearest_neighbors_threads(x, i, cfg.k, |j| classes[j] == classes[i], 1);
-        let misses = nearest_neighbors_threads(x, i, cfg.k, |j| classes[j] != classes[i], 1);
+        // Inner scans run on this anchor's split of the shared work budget:
+        // sequential when the anchor fan-out is wide, parallel when few
+        // anchors leave budget to spare — never oversubscribed.
+        let hits = nearest_neighbors_threads(x, i, cfg.k, |j| classes[j] == classes[i], 0);
+        let misses = nearest_neighbors_threads(x, i, cfg.k, |j| classes[j] != classes[i], 0);
         if hits.is_empty() || misses.is_empty() {
             return None;
         }

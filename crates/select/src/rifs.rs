@@ -169,15 +169,16 @@ fn max_normalize(scores: &mut [f64]) {
 /// One ensemble ranking over the augmented matrix (Algorithm 1, step 2):
 /// ν-weighted combination of RF importances and ℓ2,1 row norms.
 ///
-/// The forest fits sequentially (`n_threads: 1`): RIFS runs its injection
-/// rounds concurrently, so the parallelism budget is spent across rounds
-/// rather than nested inside each fit.
+/// The forest fit and ℓ2,1 solve run with `threads = 0`: when RIFS fans its
+/// injection rounds out, each round's ambient work budget is the
+/// `arda-par` split of the whole, so a wide round fan-out makes these
+/// sequential while a narrow one lets them use the freed budget — without
+/// ever oversubscribing.
 fn ensemble_scores(aug: &Dataset, cfg: &RifsConfig, seed: u64) -> Result<Vec<f64>> {
     let rf_cfg = ForestConfig {
         n_trees: cfg.rf_trees,
         max_depth: 10,
         seed,
-        n_threads: 1,
         ..Default::default()
     };
     let mut rf = RandomForest::fit_xy(&aug.x, &aug.y, aug.task, &rf_cfg)?
@@ -188,11 +189,7 @@ fn ensemble_scores(aug: &Dataset, cfg: &RifsConfig, seed: u64) -> Result<Vec<f64
     let mut xs = aug.x.clone();
     standardize_columns(&mut xs);
     let ym = target_matrix(&aug.y, aug.task);
-    let l21_cfg = L21Config {
-        threads: 1,
-        ..cfg.l21.clone()
-    };
-    let mut sr = l21_solve(&xs, &ym, &l21_cfg)?.feature_scores;
+    let mut sr = l21_solve(&xs, &ym, &cfg.l21)?.feature_scores;
     max_normalize(&mut sr);
 
     Ok(rf
@@ -216,9 +213,10 @@ pub fn rifs_fractions(train_data: &Dataset, cfg: &RifsConfig, seed: u64) -> Resu
 
     // Draw every round's injected noise up front from the single master RNG
     // (the stream is identical to the old one-round-at-a-time order), then
-    // run the independent ensemble fits concurrently. Count aggregation
-    // walks the ordered results, so fractions match the sequential run for
-    // any thread count.
+    // run the independent ensemble fits concurrently on the ambient work
+    // budget; each round's nested fits plan with the per-round split. Count
+    // aggregation walks the ordered results, so fractions match the
+    // sequential run for any budget.
     let noises: Vec<Matrix> = (0..repeats)
         .map(|_| inject_features(&train_data.x, t, cfg.distribution, &mut rng))
         .collect();
@@ -256,9 +254,12 @@ pub fn rifs_select(data: &Dataset, ctx: &SelectionContext, cfg: &RifsConfig) -> 
 
     // Wrapper (Algorithm 3): sweep increasing τ while the holdout score is
     // monotone non-decreasing; keep the last improving subset.
+    //
+    // Subsets shrink monotonically as τ grows, so everything past the first
+    // empty subset is empty too — exactly where the sequential loop stopped.
     let mut thresholds = cfg.thresholds.clone();
     thresholds.sort_by(|a, b| a.total_cmp(b));
-    let mut best: Option<(Vec<usize>, f64, f64)> = None; // (subset, τ, score)
+    let mut candidates: Vec<(f64, Vec<usize>)> = Vec::new(); // (τ, subset)
     for &tau in &thresholds {
         let subset: Vec<usize> = (0..fractions.len())
             .filter(|&j| fractions[j] >= tau)
@@ -266,7 +267,43 @@ pub fn rifs_select(data: &Dataset, ctx: &SelectionContext, cfg: &RifsConfig) -> 
         if subset.is_empty() {
             break;
         }
-        let score = ctx.evaluate(data, &subset)?;
+        candidates.push((tau, subset));
+    }
+
+    // The holdout evaluations per τ are independent given the fractions:
+    // fan them out on the ambient work budget. Consecutive thresholds often
+    // select the same subset, so only distinct subsets are evaluated; the
+    // estimator refit is deterministic in (subset, seed), which keeps the
+    // monotone walk below bit-identical to the sequential sweep. On a
+    // one-wide budget the fan-out would buy nothing, so scores stay unfilled
+    // here and the walk evaluates lazily, keeping the sequential sweep's
+    // early exit at the first score decrease.
+    let mut distinct: Vec<Vec<usize>> = Vec::new();
+    let mut subset_of: Vec<usize> = Vec::with_capacity(candidates.len());
+    for (_, subset) in &candidates {
+        if distinct.last() != Some(subset) {
+            distinct.push(subset.clone());
+        }
+        subset_of.push(distinct.len() - 1);
+    }
+    let mut scores: Vec<Option<f64>> = vec![None; distinct.len()];
+    if arda_par::current_budget().width() > 1 {
+        let evaluated = arda_par::par_map(&distinct, 0, |_, subset| ctx.evaluate(data, subset));
+        for (slot, score) in scores.iter_mut().zip(evaluated) {
+            *slot = Some(score?);
+        }
+    }
+
+    let mut best: Option<(Vec<usize>, f64, f64)> = None; // (subset, τ, score)
+    for (i, (tau, subset)) in candidates.into_iter().enumerate() {
+        let score = match scores[subset_of[i]] {
+            Some(s) => s,
+            None => {
+                let s = ctx.evaluate(data, &subset)?;
+                scores[subset_of[i]] = Some(s);
+                s
+            }
+        };
         match &best {
             Some((_, _, prev)) if score < *prev => break,
             _ => best = Some((subset, tau, score)),

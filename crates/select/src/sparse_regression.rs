@@ -38,9 +38,10 @@ pub struct L21Config {
     pub robust_labels: bool,
     /// Blend factor for robust labels.
     pub label_blend: f64,
-    /// Worker cap for the solver's matrix products (`0` = automatic).
-    /// Callers that already run many solves concurrently (RIFS rounds)
-    /// pin this to 1 to avoid nesting parallelism.
+    /// Worker cap for the solver's matrix products (`0` = the ambient
+    /// `arda-par` work budget). Callers that run many solves concurrently
+    /// (RIFS rounds) can leave this at 0: each solve plans with its split
+    /// of the shared budget, so nesting cannot oversubscribe.
     pub threads: usize,
 }
 

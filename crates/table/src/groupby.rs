@@ -8,6 +8,10 @@
 use crate::{Column, ColumnData, DataType, Key, Result, Table, TableError, Value};
 use std::collections::HashMap;
 
+/// Cells (rows × aggregated columns) below which aggregation stays
+/// sequential.
+const PAR_MIN_AGG_CELLS: usize = 1 << 14;
+
 /// Aggregation functions applicable to a grouped column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Aggregation {
@@ -137,8 +141,16 @@ impl<'a> GroupBy<'a> {
             out_cols.push(src.take(&first_rows));
         }
 
+        // Output names dedupe sequentially (order-dependent), then each
+        // aggregated column computes independently: the scan over all
+        // groups × columns — ARDA's pre-aggregation hot loop for
+        // high-cardinality foreign tables — fans out per column on the
+        // ambient `arda-par` work budget, with results folded back in
+        // expression order (identical to the sequential loop at any
+        // budget).
         let mut used: std::collections::HashSet<String> =
             out_cols.iter().map(|c| c.name().to_string()).collect();
+        let mut jobs: Vec<(&Column, Aggregation, String)> = Vec::with_capacity(exprs.len());
         for expr in exprs {
             let src = self.table.column(&expr.column)?;
             let mut name = expr.alias.clone().unwrap_or_else(|| expr.column.clone());
@@ -151,7 +163,18 @@ impl<'a> GroupBy<'a> {
                 salt += 1;
             }
             used.insert(name.clone());
-            out_cols.push(aggregate_column(src, &groups, expr.agg, &name)?);
+            jobs.push((src, expr.agg, name));
+        }
+        let threads = arda_par::threads_for(
+            0,
+            self.table.n_rows() * jobs.len().max(1),
+            PAR_MIN_AGG_CELLS,
+        );
+        let agg_cols = arda_par::par_map(&jobs, threads, |_, (src, agg, name)| {
+            aggregate_column(src, &groups, *agg, name)
+        });
+        for col in agg_cols {
+            out_cols.push(col?);
         }
 
         Table::new(self.table.name().to_string(), out_cols)

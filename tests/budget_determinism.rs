@@ -1,0 +1,271 @@
+//! Work-budget determinism properties: every budget-aware path in the
+//! workspace must produce output identical to its sequential run, across
+//! budgets {1, 2, 3, 8} and nested split shapes.
+//!
+//! This extends `tests/par_determinism.rs` for the PR-3 budget scheduler:
+//! chunk layouts derive from a budget's *nominal width* — never from how
+//! many spawn permits the pool actually granted — and results are stitched
+//! in chunk order, so parallel output equals sequential output for any
+//! budget, any split, and any permit availability. The budgets here are
+//! driven through `set_default_threads` (which resizes the global permit
+//! pool and every ambient width derived from it) plus explicit
+//! `Budget::isolated` pools for the split-shape cases.
+
+use arda::prelude::*;
+use arda_par::{set_default_threads, Budget};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BUDGETS: [usize; 4] = [1, 2, 3, 8];
+
+/// `set_default_threads` mutates the process-wide budget, so the sweeps
+/// serialize behind this lock — otherwise a sibling test could resize the
+/// global mid-iteration and an iteration would not actually run at the
+/// budget it claims to test (outputs are budget-invariant, so the
+/// assertions would still pass and the coverage would be lost silently).
+static BUDGET_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` once per budget and assert every output equals the first.
+fn assert_identical_across_budgets<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    mut f: impl FnMut() -> T,
+) {
+    let _serialize = BUDGET_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut reference: Option<T> = None;
+    for budget in BUDGETS {
+        set_default_threads(budget);
+        let got = f();
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "{what}: budget={budget}"),
+        }
+    }
+}
+
+/// RIFS — including the now-parallel τ-threshold holdout sweep — selects
+/// the same features, threshold and score at every budget.
+#[test]
+fn rifs_with_tau_sweep_identical_across_budgets() {
+    let mut rng = StdRng::seed_from_u64(600);
+    let n = 130;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let cls = (i % 2) as f64;
+            let mut row = vec![
+                cls * 3.0 + rng.gen_range(-0.4..0.4),
+                -cls * 2.0 + rng.gen_range(-0.4..0.4),
+            ];
+            for _ in 0..7 {
+                row.push(rng.gen_range(-1.0..1.0));
+            }
+            row
+        })
+        .collect();
+    let ds = Dataset::new(
+        arda::linalg::Matrix::from_rows(&rows).unwrap(),
+        (0..n).map(|i| (i % 2) as f64).collect(),
+        (0..9).map(|i| format!("f{i}")).collect(),
+        Task::Classification { n_classes: 2 },
+    )
+    .unwrap();
+    let ctx = SelectionContext::standard(&ds, 3);
+    let cfg = RifsConfig {
+        repeats: 4,
+        rf_trees: 8,
+        ..Default::default()
+    };
+    assert_identical_across_budgets("rifs_select", || {
+        let r = arda::select::rifs_select(&ds, &ctx, &cfg).unwrap();
+        (
+            r.selected,
+            r.fractions,
+            r.threshold_used.to_bits(),
+            r.holdout_score.to_bits(),
+        )
+    });
+}
+
+/// Hard joins (with the parallel group-by pre-aggregation forced by
+/// duplicate foreign keys and many value columns) and both soft joins
+/// produce identical tables at every budget.
+#[test]
+fn joins_identical_across_budgets() {
+    let mut rng = StdRng::seed_from_u64(700);
+    let n_base = 6_000;
+    let n_foreign = 9_000; // heavy duplication → pre-aggregation runs
+    let base = Table::new(
+        "b",
+        vec![Column::from_i64(
+            "k",
+            (0..n_base).map(|_| rng.gen_range(0i64..500)).collect(),
+        )],
+    )
+    .unwrap();
+    let foreign = Table::new(
+        "f",
+        vec![
+            Column::from_i64(
+                "k",
+                (0..n_foreign).map(|_| rng.gen_range(0i64..500)).collect(),
+            ),
+            Column::from_f64(
+                "v1",
+                (0..n_foreign).map(|_| rng.gen_range(-3.0..3.0)).collect(),
+            ),
+            Column::from_f64(
+                "v2",
+                (0..n_foreign).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            ),
+            Column::from_str(
+                "c",
+                (0..n_foreign)
+                    .map(|i| ["x", "y", "z"][i % 3])
+                    .collect::<Vec<_>>(),
+            ),
+        ],
+    )
+    .unwrap();
+
+    let hard = JoinSpec::hard("k", "k");
+    let nearest = JoinSpec::soft(
+        "k",
+        "k",
+        SoftMethod::Nearest {
+            tolerance: Some(25.0),
+        },
+    );
+    let two_way = JoinSpec::soft("k", "k", SoftMethod::TwoWayNearest);
+    assert_identical_across_budgets("joins", || {
+        (
+            execute_join(&base, &foreign, &hard, 9).unwrap(),
+            execute_join(&base, &foreign, &nearest, 9).unwrap(),
+            execute_join(&base, &foreign, &two_way, 9).unwrap(),
+        )
+    });
+}
+
+/// Join discovery mines and ranks the same candidate list at every budget.
+#[test]
+fn discovery_identical_across_budgets() {
+    let mut rng = StdRng::seed_from_u64(800);
+    let base = Table::new(
+        "taxi",
+        vec![
+            Column::from_timestamps("date", (0..200).map(|i| i * 86_400).collect()),
+            Column::from_str(
+                "borough",
+                (0..200)
+                    .map(|i| ["bronx", "queens", "manhattan"][i % 3])
+                    .collect::<Vec<_>>(),
+            ),
+            Column::from_f64("trips", (0..200).map(|_| rng.gen_range(0.0..9.0)).collect()),
+        ],
+    )
+    .unwrap();
+    let tables: Vec<Table> = (0..6)
+        .map(|t| {
+            Table::new(
+                format!("ext{t}"),
+                vec![
+                    Column::from_timestamps("date", (0..300).map(|i| i * 43_200 + t * 7).collect()),
+                    Column::from_str(
+                        "borough",
+                        (0..300)
+                            .map(|i| {
+                                ["bronx", "queens", "manhattan", "brooklyn"][(i + t as usize) % 4]
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::from_f64("m", (0..300).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    let repo = Repository::from_tables(tables);
+    assert_identical_across_budgets("discover_joins", || {
+        discover_joins(&base, &repo, &DiscoveryConfig::default())
+            .unwrap()
+            .into_iter()
+            .map(|c| {
+                (
+                    c.table_index,
+                    c.table_name,
+                    c.base_key,
+                    c.foreign_key,
+                    c.kind,
+                    c.score.to_bits(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+}
+
+/// The full pipeline — discovery, batch joins with per-candidate budget
+/// splits, group-by pre-aggregation, featurization, RIFS with the parallel
+/// τ-sweep, final estimate — is deterministic in the seed at any budget.
+#[test]
+fn pipeline_identical_across_budgets() {
+    let sc = arda::synth::taxi(&ScenarioConfig {
+        n_rows: 130,
+        n_decoys: 3,
+        seed: 21,
+    });
+    let repo = Repository::from_tables(sc.repository.clone());
+    let config = ArdaConfig {
+        selector: SelectorKind::Rifs(RifsConfig {
+            repeats: 3,
+            rf_trees: 8,
+            ..Default::default()
+        }),
+        seed: 21,
+        ..Default::default()
+    };
+    assert_identical_across_budgets("pipeline", || {
+        let report = Arda::new(config.clone())
+            .run(&sc.base, &repo, &sc.target)
+            .unwrap();
+        (
+            report.base_score.to_bits(),
+            report.augmented_score.to_bits(),
+            report
+                .selected
+                .iter()
+                .map(|s| format!("{}.{}", s.table, s.column))
+                .collect::<Vec<_>>(),
+        )
+    });
+}
+
+/// Explicit nested split shapes over isolated pools: an outer fan-out whose
+/// body runs a nested budget-aware map produces the same result for every
+/// (width, split) combination, including widths larger than the item count
+/// and splits that starve the inner stage to one worker.
+#[test]
+fn nested_split_shapes_identical() {
+    let groups: Vec<Vec<u64>> = (0..7)
+        .map(|g| (0..53).map(|i| g * 100 + i).collect())
+        .collect();
+    let reference: Vec<Vec<u64>> = groups
+        .iter()
+        .map(|g| g.iter().map(|&x| x * 3 + 1).collect())
+        .collect();
+    for width in BUDGETS {
+        for stages in [1usize, 2, 4, 16] {
+            let budget = Budget::isolated(width);
+            let outer = budget.split(stages);
+            let got: Vec<Vec<u64>> = arda_par::par_map_budget(&groups, &outer, |_, g| {
+                // Nested stage picks the ambient split up via threads = 0.
+                arda_par::par_map(g, 0, |_, &x| x * 3 + 1)
+            });
+            assert_eq!(got, reference, "width={width} stages={stages}");
+            assert_eq!(
+                budget.live_workers(),
+                0,
+                "width={width} stages={stages}: permits returned"
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Oversubscription regression: during a full pipeline run with nested
+//! parallel stages (batch joins × soft-join scans, RIFS rounds × forest
+//! fits × blocked linalg, the parallel τ-sweep), the total number of live
+//! workers — spawned workers plus the calling thread — must never exceed
+//! the work budget.
+//!
+//! This file holds exactly one `#[test]` on purpose: it reads the *global*
+//! permit pool's instrumentation counters, and a sibling test running in
+//! the same process would add its own spawns to the measurement.
+
+use arda::prelude::*;
+use arda_par::{
+    live_spawned_workers, peak_spawned_workers, reset_spawn_counters, set_default_threads,
+    total_spawned_workers,
+};
+
+#[test]
+fn pipeline_never_exceeds_work_budget() {
+    let sc = arda::synth::taxi(&ScenarioConfig {
+        n_rows: 140,
+        n_decoys: 3,
+        seed: 31,
+    });
+    let repo = Repository::from_tables(sc.repository.clone());
+    let config = ArdaConfig {
+        selector: SelectorKind::Rifs(RifsConfig {
+            repeats: 4,
+            rf_trees: 10,
+            ..Default::default()
+        }),
+        seed: 31,
+        ..Default::default()
+    };
+
+    for budget in [3usize, 8] {
+        set_default_threads(budget);
+        reset_spawn_counters();
+        let report = Arda::new(config.clone())
+            .run(&sc.base, &repo, &sc.target)
+            .unwrap();
+        assert!(report.joins_executed > 0, "budget={budget}: pipeline ran");
+
+        let peak = peak_spawned_workers();
+        assert!(
+            peak < budget,
+            "budget={budget}: peak {peak} spawned workers + caller exceeds the budget"
+        );
+        assert!(
+            total_spawned_workers() > 0,
+            "budget={budget}: the parallel paths never engaged, the test has no teeth"
+        );
+        assert_eq!(
+            live_spawned_workers(),
+            0,
+            "budget={budget}: every permit must be returned after the run"
+        );
+    }
+
+    // A one-wide budget must never spawn at all, anywhere in the pipeline.
+    set_default_threads(1);
+    reset_spawn_counters();
+    Arda::new(config.clone())
+        .run(&sc.base, &repo, &sc.target)
+        .unwrap();
+    assert_eq!(
+        total_spawned_workers(),
+        0,
+        "budget=1: nested stages must all run inline"
+    );
+}
