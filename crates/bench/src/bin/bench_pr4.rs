@@ -1,0 +1,259 @@
+//! PR 4 ingestion-throughput sweep: rows/sec of the streaming CSV engine
+//! at worker counts 1 → max, chunked vs. slurp, plus the sharded
+//! repository's manifest scan and lazy load. Writes `BENCH_PR4.json` so
+//! future PRs can compare against a recorded baseline (CI uploads it as an
+//! artifact alongside `BENCH_PR1.json`).
+//!
+//! ```text
+//! cargo run --release -p arda-bench --bin bench_pr4
+//! ```
+//!
+//! * **chunked** — the default streaming path: 64 KiB chunks, quote-aware
+//!   block carving, per-block parse + inference fanned out on the work
+//!   budget, typed columnar build.
+//! * **slurp** — `chunk_size = usize::MAX`: the whole input becomes one
+//!   block, so parsing is sequential regardless of budget. This is the
+//!   seed reader's execution shape, kept as the baseline.
+//!
+//! Outputs are bit-identical between the modes and across budgets (see
+//! `crates/table/tests/csv_stream.rs`); only the wall-clock changes. On a
+//! single-core host the sweep degenerates gracefully — `speedup` is then
+//! bounded by `available_parallelism`, which the JSON records.
+
+use arda_bench::timing::time_op;
+use arda_discovery::Repository;
+use arda_table::{read_csv_str_with, read_csv_with, write_csv, Column, CsvReadOptions, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const WINDOW_SECS: f64 = 0.6;
+const N_ROWS: usize = 120_000;
+const N_SHARDS: usize = 8;
+
+/// A synthetic ingest workload: mixed dtypes, nulls, and enough hostile
+/// strings (quoted commas/quotes/newlines) to keep the quote-aware scanner
+/// honest.
+fn synth_table(name: &str, rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let strs: Vec<Option<String>> = (0..rows)
+        .map(|i| {
+            if i % 23 == 0 {
+                None
+            } else {
+                Some(match i % 5 {
+                    0 => format!("plain_{i}"),
+                    1 => format!("with,comma_{i}"),
+                    2 => format!("say \"hi\" {i}"),
+                    3 => format!("line\nbreak_{i}"),
+                    _ => format!("αβ🦀_{i}"),
+                })
+            }
+        })
+        .collect();
+    Table::new(
+        name,
+        vec![
+            Column::from_i64("id", (0..rows as i64).collect()),
+            Column::from_f64("x", (0..rows).map(|_| rng.gen_range(-1e3..1e3)).collect()),
+            Column::from_f64_opt(
+                "y",
+                (0..rows)
+                    .map(|i| (i % 17 != 0).then(|| rng.gen_range(0.0..1.0)))
+                    .collect(),
+            ),
+            Column::from_i64("k", (0..rows).map(|_| rng.gen_range(0i64..500)).collect()),
+            Column::from_bool("flag", (0..rows).map(|i| i % 3 == 0).collect()),
+            Column::new("s", arda_table::ColumnData::Str(strs)),
+            Column::from_f64("z", (0..rows).map(|_| rng.gen_range(-5.0..5.0)).collect()),
+            Column::from_i64("g", (0..rows).map(|i| (i % 97) as i64).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+fn to_csv(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+struct Sweep {
+    name: String,
+    /// (threads, rows/sec) per swept worker count.
+    by_threads: Vec<(usize, f64)>,
+}
+
+impl Sweep {
+    fn speedup(&self) -> f64 {
+        let one = self
+            .by_threads
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map_or(0.0, |(_, o)| *o);
+        let best = self
+            .by_threads
+            .iter()
+            .map(|(_, o)| *o)
+            .fold(0.0f64, f64::max);
+        if one > 0.0 {
+            best / one
+        } else {
+            0.0
+        }
+    }
+}
+
+fn sweep_rows(name: &str, counts: &[usize], rows_per_op: usize, mut f: impl FnMut()) -> Sweep {
+    let mut by_threads = Vec::new();
+    for &t in counts {
+        arda_par::set_default_threads(t);
+        let m = time_op(name, WINDOW_SECS, &mut f);
+        let rows_per_sec = m.ops_per_sec * rows_per_op as f64;
+        println!("  {name} @ {t} threads: {:.0} rows/sec", rows_per_sec);
+        by_threads.push((t, rows_per_sec));
+    }
+    Sweep {
+        name: name.to_string(),
+        by_threads,
+    }
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, avail];
+    counts.sort_unstable();
+    counts.dedup();
+    println!("bench_pr4: ingestion sweep, worker counts {counts:?} (available: {avail})");
+
+    let table = synth_table("ingest", N_ROWS, 42);
+    let text = to_csv(&table);
+    let bytes = text.len();
+    println!(
+        "workload: {N_ROWS} rows × {} cols, {:.1} MiB of CSV",
+        table.n_cols(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // Cross-check once: chunked ≡ slurp, bit for bit.
+    let chunked = read_csv_str_with("t", &text, &CsvReadOptions::default()).unwrap();
+    let slurp = read_csv_str_with(
+        "t",
+        &text,
+        &CsvReadOptions {
+            chunk_size: usize::MAX,
+        },
+    )
+    .unwrap();
+    assert_eq!(chunked, slurp, "modes must be bit-identical");
+
+    // ---- In-memory parse sweeps -----------------------------------------
+    let mut sweeps: Vec<Sweep> = Vec::new();
+    sweeps.push(sweep_rows("parse_chunked_64k", &counts, N_ROWS, || {
+        black_box(read_csv_str_with("t", &text, &CsvReadOptions::default()).unwrap());
+    }));
+    sweeps.push(sweep_rows("parse_slurp", &counts, N_ROWS, || {
+        black_box(
+            read_csv_str_with(
+                "t",
+                &text,
+                &CsvReadOptions {
+                    chunk_size: usize::MAX,
+                },
+            )
+            .unwrap(),
+        );
+    }));
+
+    // ---- File-backed ingest (the two streaming passes hit the FS) -------
+    let dir = std::env::temp_dir().join(format!("arda_bench_pr4_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file_path = dir.join("ingest.csv");
+    std::fs::write(&file_path, &text).unwrap();
+    sweeps.push(sweep_rows("file_chunked_64k", &counts, N_ROWS, || {
+        black_box(read_csv_with(&file_path, &CsvReadOptions::default()).unwrap());
+    }));
+
+    // ---- Sharded repository: manifest scan + lazy full load -------------
+    let shard_rows = N_ROWS / N_SHARDS;
+    let shard_dir = dir.join("shards");
+    std::fs::create_dir_all(&shard_dir).unwrap();
+    for s in 0..N_SHARDS {
+        let t = synth_table(&format!("shard_{s:02}"), shard_rows, 100 + s as u64);
+        let f = std::fs::File::create(shard_dir.join(format!("{}.csv", t.name()))).unwrap();
+        write_csv(&t, f).unwrap();
+    }
+    let manifest = time_op("manifest_scan", WINDOW_SECS, &mut || {
+        black_box(Repository::from_dir(&shard_dir).unwrap());
+    });
+    println!(
+        "  manifest_scan: {:.1} scans/sec over {N_SHARDS} shards (headers only)",
+        manifest.ops_per_sec
+    );
+    let lazy_load = sweep_rows("shard_lazy_load_all", &counts, N_ROWS, || {
+        let repo = Repository::from_dir(&shard_dir).unwrap();
+        let indices: Vec<usize> = (0..repo.len()).collect();
+        // Load every shard through the lazy path, fanned out like
+        // discovery does.
+        black_box(arda_par::par_map(&indices, 0, |_, &i| {
+            repo.table(i).unwrap().n_rows()
+        }));
+    });
+    sweeps.push(lazy_load);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ---- JSON report -----------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"pr\": 4,\n");
+    json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    json.push_str(&format!("  \"workload_rows\": {N_ROWS},\n"));
+    json.push_str(&format!("  \"workload_bytes\": {bytes},\n"));
+    json.push_str(&format!("  \"n_shards\": {N_SHARDS},\n"));
+    json.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"manifest_scans_per_sec\": {:.4},\n",
+        manifest.ops_per_sec
+    ));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        json.push_str("      \"rows_per_sec\": {");
+        let cells: Vec<String> = s
+            .by_threads
+            .iter()
+            .map(|(t, o)| format!("\"{t}\": {o:.1}"))
+            .collect();
+        json.push_str(&cells.join(", "));
+        json.push_str("},\n");
+        json.push_str(&format!(
+            "      \"speedup_best_vs_1\": {:.4}\n",
+            s.speedup()
+        ));
+        json.push_str(if i + 1 < sweeps.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("\nwrote BENCH_PR4.json");
+    for s in &sweeps {
+        println!(
+            "  {:24} best-vs-1-thread speedup: {:.2}x",
+            s.name,
+            s.speedup()
+        );
+    }
+}

@@ -150,7 +150,7 @@ pub fn full_materialized_dataset(scenario: &Scenario, seed: u64) -> Dataset {
             foreign_keys: vec![c.foreign_key.clone()],
             kind,
         };
-        joined = execute_join(&joined, foreign, &spec, seed).expect("join");
+        joined = execute_join(&joined, &foreign, &spec, seed).expect("join");
     }
     let (imputed, _) = impute(&joined, seed).expect("impute");
     featurize(

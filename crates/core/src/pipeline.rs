@@ -168,30 +168,50 @@ impl Arda {
             .collect();
 
         // ---- Tuple-Ratio prefilter (optional) --------------------------
-        let mut active: Vec<CandidateJoin> = Vec::with_capacity(candidates.len());
-        let mut tr_eliminated = 0usize;
+        // Bounds-check against the manifest without touching tables — on a
+        // sharded repository this must not force a load.
         for c in candidates {
-            let Some(foreign) = repo.get(c.table_index) else {
+            if c.table_index >= repo.len() {
                 return Err(ArdaError::Invalid(format!(
                     "candidate references missing table {}",
                     c.table_index
                 )));
-            };
-            if let Some(tau) = cfg.tr_threshold {
-                let stats = join_stats(
-                    &kept,
-                    foreign,
-                    &[c.base_key.as_str()],
-                    &[c.foreign_key.as_str()],
-                )?;
-                if tuple_ratio_filter(kept.n_rows(), stats.foreign_distinct, tau)
-                    == TupleRatioDecision::Eliminate
-                {
+            }
+        }
+        let mut active: Vec<CandidateJoin> = Vec::with_capacity(candidates.len());
+        let mut tr_eliminated = 0usize;
+        if let Some(tau) = cfg.tr_threshold {
+            // Per-candidate stats are independent, so the prefilter fans
+            // out on the work budget; on a sharded repository each worker
+            // streams its candidate's shard in concurrently (instead of a
+            // sequential load-parse-evict walk on the critical path). The
+            // fold below runs in candidate order, so `active`, the
+            // eliminated count and the earliest error are identical to
+            // the sequential scan.
+            let verdicts: Vec<Result<TupleRatioDecision>> =
+                arda_par::par_map(candidates, 0, |_, c| {
+                    let foreign = repo.table(c.table_index)?;
+                    let stats = join_stats(
+                        &kept,
+                        &foreign,
+                        &[c.base_key.as_str()],
+                        &[c.foreign_key.as_str()],
+                    )?;
+                    Ok(tuple_ratio_filter(
+                        kept.n_rows(),
+                        stats.foreign_distinct,
+                        tau,
+                    ))
+                });
+            for (c, verdict) in candidates.iter().zip(verdicts) {
+                if verdict? == TupleRatioDecision::Eliminate {
                     tr_eliminated += 1;
-                    continue;
+                } else {
+                    active.push(c.clone());
                 }
             }
-            active.push(c.clone());
+        } else {
+            active.extend(candidates.iter().cloned());
         }
 
         // ---- Base-only reference score ---------------------------------
@@ -199,7 +219,7 @@ impl Arda {
         let (base_score, _) = best_estimate(&base_ds, cfg.seed)?;
 
         // ---- Join plan + batched execution ------------------------------
-        let batches = plan_batches(&active, repo.tables(), cfg.join_plan, kept.n_rows());
+        let batches = plan_batches(&active, repo, cfg.join_plan, kept.n_rows());
         let mut provenance: HashMap<String, String> = HashMap::new();
         let mut joins_executed = 0usize;
 
@@ -220,7 +240,10 @@ impl Arda {
             // pool guarantees the nested scans never oversubscribe.
             let snapshot = &kept;
             let extra_tables: Vec<Result<Table>> = arda_par::par_map(batch, 0, |_, cand| {
-                let foreign = repo.get(cand.table_index).expect("validated above");
+                // On a sharded repository this is where the foreign shard
+                // is streamed in — concurrently per candidate, under the
+                // batch's split of the work budget.
+                let foreign = repo.table(cand.table_index)?;
                 let kind = join_kind_for(snapshot, cand, cfg.soft_method);
                 let spec = JoinSpec {
                     base_keys: vec![cand.base_key.clone()],
@@ -228,7 +251,7 @@ impl Arda {
                     kind,
                 };
                 let before: HashSet<&str> = snapshot.columns().iter().map(|c| c.name()).collect();
-                let joined = execute_join_threads(snapshot, foreign, &spec, cfg.seed, 0)?;
+                let joined = execute_join_threads(snapshot, &foreign, &spec, cfg.seed, 0)?;
                 let mut extras = Table::empty(cand.table_name.clone());
                 for col in joined.columns() {
                     if !before.contains(col.name()) {

@@ -7,8 +7,7 @@
 //!   discovery against the noise the selector must tolerate.
 //! * **Full materialization** — everything in one batch.
 
-use arda_discovery::CandidateJoin;
-use arda_table::Table;
+use arda_discovery::{CandidateJoin, Repository};
 
 /// Table-grouping strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,11 +29,12 @@ impl Default for JoinPlan {
     }
 }
 
-/// Number of value (non-key) columns a candidate would contribute.
-fn candidate_width(c: &CandidateJoin, tables: &[Table]) -> usize {
-    tables
-        .get(c.table_index)
-        .map(|t| t.n_cols().saturating_sub(1))
+/// Number of value (non-key) columns a candidate would contribute. Widths
+/// come from the repository manifest, so planning over a directory-sharded
+/// repository never forces a shard load.
+fn candidate_width(c: &CandidateJoin, repo: &Repository) -> usize {
+    repo.n_cols(c.table_index)
+        .map(|n| n.saturating_sub(1))
         .unwrap_or(0)
 }
 
@@ -46,7 +46,7 @@ fn candidate_width(c: &CandidateJoin, tables: &[Table]) -> usize {
 /// selection pipeline").
 pub fn plan_batches(
     candidates: &[CandidateJoin],
-    tables: &[Table],
+    repo: &Repository,
     plan: JoinPlan,
     coreset_rows: usize,
 ) -> Vec<Vec<CandidateJoin>> {
@@ -65,7 +65,7 @@ pub fn plan_batches(
             let mut current: Vec<CandidateJoin> = Vec::new();
             let mut used = 0usize;
             for c in candidates {
-                let w = candidate_width(c, tables).max(1);
+                let w = candidate_width(c, repo).max(1);
                 if w > budget && current.is_empty() {
                     // Oversized table ships alone.
                     batches.push(vec![c.clone()]);
@@ -96,12 +96,12 @@ mod tests {
     use arda_discovery::KeyKind;
     use arda_table::Column;
 
-    fn table(name: &str, cols: usize) -> Table {
+    fn table(name: &str, cols: usize) -> arda_table::Table {
         let mut v = vec![Column::from_i64("k", vec![1, 2])];
         for c in 0..cols {
             v.push(Column::from_f64(format!("v{c}"), vec![0.0, 1.0]));
         }
-        Table::new(name, v).unwrap()
+        arda_table::Table::new(name, v).unwrap()
     }
 
     fn candidate(i: usize) -> CandidateJoin {
@@ -117,34 +117,34 @@ mod tests {
 
     #[test]
     fn table_plan_one_per_batch() {
-        let tables = vec![table("t0", 2), table("t1", 3)];
+        let repo = Repository::from_tables(vec![table("t0", 2), table("t1", 3)]);
         let cands = vec![candidate(0), candidate(1)];
-        let b = plan_batches(&cands, &tables, JoinPlan::Table, 100);
+        let b = plan_batches(&cands, &repo, JoinPlan::Table, 100);
         assert_eq!(b.len(), 2);
         assert_eq!(b[0].len(), 1);
     }
 
     #[test]
     fn full_materialization_single_batch() {
-        let tables = vec![table("t0", 2), table("t1", 3)];
+        let repo = Repository::from_tables(vec![table("t0", 2), table("t1", 3)]);
         let cands = vec![candidate(0), candidate(1)];
-        let b = plan_batches(&cands, &tables, JoinPlan::FullMaterialization, 100);
+        let b = plan_batches(&cands, &repo, JoinPlan::FullMaterialization, 100);
         assert_eq!(b.len(), 1);
         assert_eq!(b[0].len(), 2);
-        assert!(plan_batches(&[], &tables, JoinPlan::FullMaterialization, 100).is_empty());
+        assert!(plan_batches(&[], &repo, JoinPlan::FullMaterialization, 100).is_empty());
     }
 
     #[test]
     fn budget_plan_respects_budget() {
         // Widths: 2, 3, 2, 3 — budget 5 → [2+3], [2+3].
-        let tables = vec![
+        let repo = Repository::from_tables(vec![
             table("t0", 2),
             table("t1", 3),
             table("t2", 2),
             table("t3", 3),
-        ];
+        ]);
         let cands: Vec<CandidateJoin> = (0..4).map(candidate).collect();
-        let b = plan_batches(&cands, &tables, JoinPlan::Budget { budget: Some(5) }, 100);
+        let b = plan_batches(&cands, &repo, JoinPlan::Budget { budget: Some(5) }, 100);
         assert_eq!(b.len(), 2);
         assert_eq!(b[0].len(), 2);
         assert_eq!(b[1].len(), 2);
@@ -152,9 +152,9 @@ mod tests {
 
     #[test]
     fn oversized_table_ships_alone() {
-        let tables = vec![table("wide", 50), table("t1", 2)];
+        let repo = Repository::from_tables(vec![table("wide", 50), table("t1", 2)]);
         let cands = vec![candidate(0), candidate(1)];
-        let b = plan_batches(&cands, &tables, JoinPlan::Budget { budget: Some(10) }, 100);
+        let b = plan_batches(&cands, &repo, JoinPlan::Budget { budget: Some(10) }, 100);
         assert_eq!(b.len(), 2);
         assert_eq!(b[0].len(), 1, "wide table alone");
         assert_eq!(b[0][0].table_name, "t0");
@@ -162,10 +162,10 @@ mod tests {
 
     #[test]
     fn default_budget_is_coreset_rows() {
-        let tables = vec![table("t0", 4), table("t1", 4)];
+        let repo = Repository::from_tables(vec![table("t0", 4), table("t1", 4)]);
         let cands = vec![candidate(0), candidate(1)];
         // Coreset of 4 rows → each 4-wide table fills one batch.
-        let b = plan_batches(&cands, &tables, JoinPlan::Budget { budget: None }, 4);
+        let b = plan_batches(&cands, &repo, JoinPlan::Budget { budget: None }, 4);
         assert_eq!(b.len(), 2);
     }
 

@@ -17,9 +17,33 @@
 //! * relevance-ranked output: a `Vec<CandidateJoin>` exactly like the input
 //!   ARDA expects, including the ranking "ARDA can optionally make use of
 //!   ... to prioritize its search" (§3).
+//!
+//! ## Sharded repositories
+//!
+//! A [`Repository`] is a pool of candidate tables addressed by index. Two
+//! backing stores coexist behind one API:
+//!
+//! * **eager** — the original `Vec<Table>` path ([`Repository::from_tables`]
+//!   / [`Repository::add`]), every table resident up front;
+//! * **directory-sharded** — [`Repository::from_dir`] scans a directory of
+//!   CSV shards into a *manifest* (name, path and column count per shard,
+//!   read via [`arda_table::read_csv_header`] without parsing table
+//!   bodies), and each shard is parsed lazily — with the streaming,
+//!   budget-parallel CSV engine — on first [`Repository::table`] access.
+//!   Loaded shards are cached as [`Arc<Table>`] behind an LRU bound
+//!   ([`Repository::with_cache_capacity`]), so repositories far larger
+//!   than memory can be mined; eviction only drops the cache's reference,
+//!   never a table a caller still holds.
+//!
+//! The manifest is sorted by file name, and a reloaded shard parses to the
+//! exact same table, so discovery and the downstream pipeline are
+//! deterministic regardless of cache hits, evictions or load order.
 
 use arda_join::stats::join_stats;
-use arda_table::{DataType, Table, TableError};
+use arda_table::{CsvReadOptions, DataType, Table, TableError};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Hard vs soft key classification of a candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,47 +71,220 @@ pub struct CandidateJoin {
     pub score: f64,
 }
 
-/// A pool of candidate tables (the "data repository" of Figure 1).
-#[derive(Debug, Clone, Default)]
+/// One entry of a repository: either a resident table or a CSV shard on
+/// disk, loaded on demand.
+#[derive(Debug, Clone)]
+enum Source {
+    Mem(Arc<Table>),
+    Disk(ShardMeta),
+}
+
+/// Manifest entry for one on-disk CSV shard.
+#[derive(Debug, Clone)]
+struct ShardMeta {
+    name: String,
+    path: PathBuf,
+    n_cols: usize,
+}
+
+/// LRU cache of lazily loaded shards, keyed by repository index.
+#[derive(Debug, Default)]
+struct ShardCache {
+    loaded: HashMap<usize, Arc<Table>>,
+    /// Access order, most recent last.
+    lru: Vec<usize>,
+}
+
+impl ShardCache {
+    fn touch(&mut self, index: usize) {
+        self.lru.retain(|&i| i != index);
+        self.lru.push(index);
+    }
+
+    fn evict_to(&mut self, capacity: usize) {
+        while self.loaded.len() > capacity.max(1) {
+            let oldest = self.lru.remove(0);
+            self.loaded.remove(&oldest);
+        }
+    }
+}
+
+/// A pool of candidate tables (the "data repository" of Figure 1),
+/// addressed by index. See the crate docs for the eager vs
+/// directory-sharded backing stores.
+#[derive(Debug, Clone)]
 pub struct Repository {
-    tables: Vec<Table>,
+    sources: Vec<Source>,
+    cache: Arc<Mutex<ShardCache>>,
+    /// Max shards resident in the cache (`usize::MAX` = unbounded).
+    cache_capacity: usize,
+    read_opts: CsvReadOptions,
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository::new()
+    }
 }
 
 impl Repository {
     /// Empty repository.
     pub fn new() -> Self {
-        Repository { tables: Vec::new() }
+        Repository {
+            sources: Vec::new(),
+            cache: Arc::new(Mutex::new(ShardCache::default())),
+            cache_capacity: usize::MAX,
+            read_opts: CsvReadOptions::default(),
+        }
     }
 
-    /// Build from tables.
+    /// Build from resident tables (the eager path).
     pub fn from_tables(tables: Vec<Table>) -> Self {
-        Repository { tables }
+        let mut repo = Repository::new();
+        for t in tables {
+            repo.sources.push(Source::Mem(Arc::new(t)));
+        }
+        repo
     }
 
-    /// Add a table, returning its index.
+    /// Build a directory-sharded repository: every `*.csv` file directly
+    /// in `dir` becomes one shard, named after its file stem and sorted by
+    /// file name for determinism. Only headers are read here (the
+    /// manifest scan); table bodies are parsed lazily by [`Self::table`].
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self, TableError> {
+        Repository::from_dir_with(dir, &CsvReadOptions::default())
+    }
+
+    /// [`Self::from_dir`] with explicit streaming-read options for the
+    /// lazy shard loads.
+    pub fn from_dir_with(dir: impl AsRef<Path>, opts: &CsvReadOptions) -> Result<Self, TableError> {
+        let dir = dir.as_ref();
+        let entries = std::fs::read_dir(dir).map_err(|e| {
+            TableError::Csv(format!("cannot read repository dir {}: {e}", dir.display()))
+        })?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let path = entry.map_err(|e| TableError::Csv(e.to_string()))?.path();
+            if path.is_file() && path.extension().and_then(|e| e.to_str()) == Some("csv") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        let mut repo = Repository::new();
+        repo.read_opts = opts.clone();
+        for path in paths {
+            let n_cols = arda_table::read_csv_header(&path)
+                .map_err(|e| TableError::Csv(format!("shard {}: {e}", path.display())))?
+                .len();
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("table")
+                .to_string();
+            repo.sources
+                .push(Source::Disk(ShardMeta { name, path, n_cols }));
+        }
+        Ok(repo)
+    }
+
+    /// Bound the lazy-load cache to at most `capacity` resident shards
+    /// (LRU eviction; clamped to ≥ 1). Eager tables are unaffected.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .evict_to(self.cache_capacity);
+        self
+    }
+
+    /// Add a resident table, returning its index.
     pub fn add(&mut self, table: Table) -> usize {
-        self.tables.push(table);
-        self.tables.len() - 1
+        self.sources.push(Source::Mem(Arc::new(table)));
+        self.sources.len() - 1
     }
 
-    /// All tables.
-    pub fn tables(&self) -> &[Table] {
-        &self.tables
+    /// Table by index, loading a sharded table from disk on first access.
+    /// The returned [`Arc`] stays valid even if the cache later evicts the
+    /// shard.
+    pub fn table(&self, index: usize) -> Result<Arc<Table>, TableError> {
+        let source = self.sources.get(index).ok_or_else(|| {
+            TableError::Invalid(format!(
+                "repository table {index} out of range ({} tables)",
+                self.sources.len()
+            ))
+        })?;
+        match source {
+            Source::Mem(t) => Ok(Arc::clone(t)),
+            Source::Disk(meta) => {
+                {
+                    let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+                    if let Some(t) = cache.loaded.get(&index) {
+                        let t = Arc::clone(t);
+                        cache.touch(index);
+                        return Ok(t);
+                    }
+                }
+                // Load outside the lock so distinct shards parse
+                // concurrently; a racing duplicate load of the same shard
+                // yields an identical table, so first-insert-wins is safe.
+                let loaded = Arc::new(
+                    arda_table::read_csv_with(&meta.path, &self.read_opts).map_err(|e| {
+                        TableError::Csv(format!("shard {}: {e}", meta.path.display()))
+                    })?,
+                );
+                let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+                let entry = cache
+                    .loaded
+                    .entry(index)
+                    .or_insert_with(|| Arc::clone(&loaded));
+                let out = Arc::clone(entry);
+                cache.touch(index);
+                cache.evict_to(self.cache_capacity);
+                Ok(out)
+            }
+        }
     }
 
-    /// Table by index.
-    pub fn get(&self, index: usize) -> Option<&Table> {
-        self.tables.get(index)
+    /// Table by index; `None` when out of range or the shard fails to
+    /// load. Prefer [`Self::table`] where the error matters.
+    pub fn get(&self, index: usize) -> Option<Arc<Table>> {
+        self.table(index).ok()
+    }
+
+    /// Table name by index (from the manifest — never loads a shard).
+    pub fn name(&self, index: usize) -> Option<&str> {
+        self.sources.get(index).map(|s| match s {
+            Source::Mem(t) => t.name(),
+            Source::Disk(meta) => meta.name.as_str(),
+        })
+    }
+
+    /// Column count by index (from the manifest — never loads a shard).
+    pub fn n_cols(&self, index: usize) -> Option<usize> {
+        self.sources.get(index).map(|s| match s {
+            Source::Mem(t) => t.n_cols(),
+            Source::Disk(meta) => meta.n_cols,
+        })
+    }
+
+    /// Number of lazily loaded shards currently resident in the cache.
+    pub fn resident_shards(&self) -> usize {
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .loaded
+            .len()
     }
 
     /// Number of tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.sources.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.sources.is_empty()
     }
 }
 
@@ -239,16 +436,21 @@ fn mine_table(
 ///
 /// Each table's column-pair scoring (value-overlap statistics over every
 /// compatible pair) is independent of every other table's, so the per-table
-/// mining fans out on the ambient `arda-par` work budget; the ordered
+/// mining fans out on the ambient `arda-par` work budget; on a
+/// directory-sharded repository each worker lazily loads (and, under a
+/// cache bound, later evicts) its own shards concurrently. The ordered
 /// results are folded back in repository order before the global rank, so
-/// the candidate list is identical to the sequential scan at any budget.
+/// the candidate list is identical to the sequential scan at any budget,
+/// cache state or load interleaving.
 pub fn discover_joins(
     base: &Table,
     repo: &Repository,
     cfg: &DiscoveryConfig,
 ) -> Result<Vec<CandidateJoin>, TableError> {
-    let mined = arda_par::par_map(repo.tables(), 0, |ti, foreign| {
-        mine_table(base, ti, foreign, cfg)
+    let indices: Vec<usize> = (0..repo.len()).collect();
+    let mined = arda_par::par_map(&indices, 0, |_, &ti| {
+        let foreign = repo.table(ti)?;
+        mine_table(base, ti, &foreign, cfg)
     });
     let mut all = Vec::new();
     for per_table in mined {
@@ -397,6 +599,95 @@ mod tests {
         let i = repo.add(junk());
         assert_eq!(repo.len(), 1);
         assert_eq!(repo.get(i).unwrap().name(), "junk");
+        assert_eq!(repo.name(i), Some("junk"));
+        assert_eq!(repo.n_cols(i), Some(2));
         assert!(repo.get(9).is_none());
+        assert!(repo.table(9).is_err());
+    }
+
+    /// Write every table of an eager repository into `dir` as CSV shards.
+    fn write_shards(dir: &std::path::Path, tables: &[Table]) {
+        std::fs::create_dir_all(dir).unwrap();
+        for t in tables {
+            let f = std::fs::File::create(dir.join(format!("{}.csv", t.name()))).unwrap();
+            arda_table::write_csv(t, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_repository_loads_lazily_and_evicts() {
+        let dir = std::env::temp_dir().join(format!("arda_disc_shards_{}", std::process::id()));
+        write_shards(&dir, &[junk(), population(), weather()]);
+
+        let repo = Repository::from_dir(&dir).unwrap().with_cache_capacity(1);
+        // Manifest only: sorted by file name, metadata available, nothing
+        // loaded yet.
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.name(0), Some("junk"));
+        assert_eq!(repo.name(1), Some("population"));
+        assert_eq!(repo.name(2), Some("weather"));
+        assert_eq!(repo.n_cols(1), Some(2));
+        assert_eq!(repo.resident_shards(), 0, "manifest scan loads nothing");
+
+        // Loads on demand; the cache bound evicts the least recent shard.
+        let pop = repo.table(1).unwrap();
+        assert_eq!(pop.name(), "population");
+        assert_eq!(pop.n_rows(), 4);
+        assert_eq!(repo.resident_shards(), 1);
+        let w = repo.table(2).unwrap();
+        assert_eq!(w.n_rows(), 720);
+        assert_eq!(repo.resident_shards(), 1, "capacity 1 evicted population");
+        // The evicted Arc stays usable.
+        assert_eq!(pop.column("borough").unwrap().len(), 4);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_discovery_matches_eager() {
+        let dir = std::env::temp_dir().join(format!("arda_disc_eq_{}", std::process::id()));
+        // Timestamps round-trip CSV as Int columns, so compare against an
+        // eager repository built from the *reloaded* shards rather than
+        // the originals.
+        write_shards(&dir, &[junk(), population(), weather()]);
+        let sharded = Repository::from_dir(&dir).unwrap().with_cache_capacity(2);
+        let eager = Repository::from_tables(
+            (0..sharded.len())
+                .map(|i| (*sharded.table(i).unwrap()).clone())
+                .collect(),
+        );
+
+        let cfg = DiscoveryConfig::default();
+        let a = discover_joins(&base(), &sharded, &cfg).unwrap();
+        let b = discover_joins(&base(), &eager, &cfg).unwrap();
+        let key = |cands: &[CandidateJoin]| {
+            cands
+                .iter()
+                .map(|c| {
+                    (
+                        c.table_index,
+                        c.table_name.clone(),
+                        c.base_key.clone(),
+                        c.foreign_key.clone(),
+                        c.kind,
+                        c.score.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b), "lazy shards mine identically");
+        assert!(!a.is_empty(), "candidates found through sharded path");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_dir_missing_and_empty() {
+        assert!(Repository::from_dir("/definitely/not/a/dir").is_err());
+        let dir = std::env::temp_dir().join(format!("arda_disc_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let repo = Repository::from_dir(&dir).unwrap();
+        assert!(repo.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,7 +14,10 @@
 //! * [`Table`] — a collection of equal-length columns with relational
 //!   operations: projection, row `take`, filtering, sorting, horizontal
 //!   concatenation and [`GroupBy`] aggregation.
-//! * CSV reading/writing with type inference (for interoperability).
+//! * Streaming CSV ingestion with type inference: a chunked, quote-aware
+//!   RFC-4180 reader that parses and infers on the ambient [`arda_par`]
+//!   work budget under bounded memory (see the `csv` module docs), plus a
+//!   round-trip-safe writer.
 //!
 //! The engine is deliberately small: ARDA needs LEFT-join-friendly row
 //! addressing, group-by aggregation and cheap columnar access, not a full
@@ -30,7 +33,10 @@ mod table;
 mod value;
 
 pub use column::{Column, ColumnData};
-pub use csv::{read_csv, read_csv_str, write_csv};
+pub use csv::{
+    read_csv, read_csv_header, read_csv_str, read_csv_str_with, read_csv_with, write_csv,
+    CsvReadOptions,
+};
 pub use error::TableError;
 pub use groupby::{AggExpr, Aggregation, GroupBy};
 pub use schema::{DataType, Field, Schema};

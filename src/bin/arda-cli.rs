@@ -3,12 +3,19 @@
 //! ```text
 //! arda-cli --base base.csv --target <column> --repo dir_of_csvs/ \
 //!          [--out augmented.csv] [--selector rifs|rf|ftest|mi|all] \
-//!          [--plan budget|table|full] [--tr <tau>] [--seed <n>]
+//!          [--plan budget|table|full] [--tr <tau>] [--seed <n>] \
+//!          [--cache-tables <n>]
 //! ```
 //!
-//! Reads the base table and every `*.csv` in the repository directory,
-//! discovers candidate joins, runs the pipeline and writes the augmented
-//! table (base coreset + selected foreign columns) as CSV.
+//! The repository directory is ingested as a **sharded repository**: every
+//! `*.csv` becomes a shard whose header is scanned up front (the manifest)
+//! and whose body is streamed in — chunked, quote-aware, parallel on the
+//! work budget — only when the pipeline first touches it. `--cache-tables`
+//! bounds how many loaded shards stay resident (LRU eviction), so
+//! repositories larger than memory still run. The base table is read with
+//! the same streaming engine, then candidate joins are discovered, the
+//! pipeline runs, and the augmented table (base coreset + selected foreign
+//! columns) is written as CSV.
 
 use arda::prelude::*;
 use std::path::PathBuf;
@@ -23,6 +30,7 @@ struct Args {
     plan: String,
     tr: Option<f64>,
     seed: u64,
+    cache_tables: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         plan: "budget".into(),
         tr: None,
         seed: 0,
+        cache_tables: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,6 +67,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed must be an integer: {e}"))?
             }
+            "--cache-tables" => {
+                let n: usize = value("--cache-tables")?
+                    .parse()
+                    .map_err(|e| format!("--cache-tables must be an integer: {e}"))?;
+                if n == 0 {
+                    return Err("--cache-tables must be at least 1".into());
+                }
+                args.cache_tables = Some(n);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -73,7 +91,13 @@ fn parse_args() -> Result<Args, String> {
 
 const USAGE: &str = "usage: arda-cli --base base.csv --target <column> --repo <dir> \
 [--out augmented.csv] [--selector rifs|rf|ftest|mi|all] [--plan budget|table|full] \
-[--tr <tau>] [--seed <n>]";
+[--tr <tau>] [--seed <n>] [--cache-tables <n>]
+
+  --repo <dir>       directory of CSV shards, ingested lazily: headers are
+                     scanned up front, bodies stream in (parallel, chunked)
+                     on first use by discovery or a join batch
+  --cache-tables <n> keep at most <n> loaded shards resident (LRU); default
+                     unbounded — use for repositories larger than memory";
 
 fn selector_from(name: &str) -> Result<SelectorKind, String> {
     Ok(match name {
@@ -101,25 +125,22 @@ fn run() -> Result<(), String> {
     base.column(&args.target)
         .map_err(|_| format!("target column `{}` not found in base table", args.target))?;
 
-    let mut tables = Vec::new();
-    let entries = std::fs::read_dir(&args.repo)
-        .map_err(|e| format!("cannot read repo dir {}: {e}", args.repo.display()))?;
-    for entry in entries {
-        let path = entry.map_err(|e| e.to_string())?.path();
-        if path.extension().and_then(|e| e.to_str()) == Some("csv") {
-            tables.push(arda::table::read_csv(&path).map_err(|e| e.to_string())?);
-        }
+    let mut repo = Repository::from_dir(&args.repo).map_err(|e| e.to_string())?;
+    if let Some(cap) = args.cache_tables {
+        repo = repo.with_cache_capacity(cap);
     }
-    if tables.is_empty() {
+    if repo.is_empty() {
         return Err(format!("no .csv files found in {}", args.repo.display()));
     }
     eprintln!(
-        "loaded base ({} rows) + {} repository tables",
+        "loaded base ({} rows); indexed {} repository shard(s) (lazy{})",
         base.n_rows(),
-        tables.len()
+        repo.len(),
+        match args.cache_tables {
+            Some(cap) => format!(", cache {cap}"),
+            None => String::new(),
+        }
     );
-
-    let repo = Repository::from_tables(tables);
     let config = ArdaConfig {
         selector: selector_from(&args.selector)?,
         join_plan: plan_from(&args.plan)?,

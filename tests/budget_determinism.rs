@@ -239,6 +239,76 @@ fn pipeline_identical_across_budgets() {
     });
 }
 
+/// Streaming CSV ingestion — chunked boundary scan, parallel per-block
+/// type inference with the widen-merge, parallel typed build — yields a
+/// bit-identical table at every budget (satellite of PR 4; budgets {1, 2,
+/// 8} required, {1, 2, 3, 8} swept). Small chunks force many blocks so
+/// the parallel path genuinely engages at wide budgets.
+#[test]
+fn csv_ingestion_identical_across_budgets() {
+    // Hostile content: embedded newlines/CRLF in quoted cells, quotes,
+    // commas, blank interior line, type widening, trailing nulls.
+    let text = "id,score,who,note\n\
+                1,2.5,\"a,b\",\"line one\nline two\"\n\
+                2,,c d,\"q\"\"uote\"\n\
+                \n\
+                3,4,\"crlf\r\nin cell\",\n\
+                4,5.5,αβ🦀,end\r\n";
+    assert_identical_across_budgets("csv_ingestion", || {
+        arda::table::read_csv_str_with("t", text, &arda::table::CsvReadOptions { chunk_size: 16 })
+            .unwrap()
+    });
+}
+
+/// Directory-sharded repositories: manifest scan + lazy parallel shard
+/// loads (with an LRU bound forcing reloads) discover identical
+/// candidates and drive an identical pipeline at every budget.
+#[test]
+fn sharded_repository_identical_across_budgets() {
+    let sc = arda::synth::school(
+        &ScenarioConfig {
+            n_rows: 90,
+            n_decoys: 3,
+            seed: 33,
+        },
+        false,
+    );
+    let dir = std::env::temp_dir().join(format!("arda_budget_shards_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for t in &sc.repository {
+        let f = std::fs::File::create(dir.join(format!("{}.csv", t.name()))).unwrap();
+        arda::table::write_csv(t, f).unwrap();
+    }
+    let config = ArdaConfig {
+        selector: SelectorKind::Rifs(RifsConfig {
+            repeats: 3,
+            rf_trees: 8,
+            ..Default::default()
+        }),
+        seed: 33,
+        ..Default::default()
+    };
+    assert_identical_across_budgets("sharded pipeline", || {
+        // Fresh repository per run: every budget re-scans the manifest
+        // and re-loads shards through its own cache (capacity 2 keeps
+        // eviction/reload on the hot path).
+        let repo = Repository::from_dir(&dir).unwrap().with_cache_capacity(2);
+        let report = Arda::new(config.clone())
+            .run(&sc.base, &repo, &sc.target)
+            .unwrap();
+        (
+            report.base_score.to_bits(),
+            report.augmented_score.to_bits(),
+            report
+                .selected
+                .iter()
+                .map(|s| format!("{}.{}", s.table, s.column))
+                .collect::<Vec<_>>(),
+        )
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Explicit nested split shapes over isolated pools: an outer fan-out whose
 /// body runs a nested budget-aware map produces the same result for every
 /// (width, split) combination, including widths larger than the item count

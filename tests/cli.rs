@@ -25,8 +25,16 @@ fn cli_augments_csv_repository() {
     write(&dir.join("base.csv"), &base_csv);
     write(&repo.join("ext.csv"), &ext_csv);
 
+    // A second shard exercises the lazy directory ingest with an LRU
+    // cache bound of one resident shard.
+    let mut decoy_csv = String::from("code,junk\n");
+    for i in 0..20 {
+        decoy_csv.push_str(&format!("z{i},{}\n", i % 3));
+    }
+    write(&repo.join("decoy.csv"), &decoy_csv);
+
     let out = dir.join("augmented.csv");
-    let status = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
+    let output = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
         .args([
             "--base",
             dir.join("base.csv").to_str().unwrap(),
@@ -38,10 +46,21 @@ fn cli_augments_csv_repository() {
             out.to_str().unwrap(),
             "--selector",
             "rf",
+            "--cache-tables",
+            "1",
         ])
-        .status()
+        .output()
         .expect("run arda-cli");
-    assert!(status.success());
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("indexed 2 repository shard(s) (lazy, cache 1)"),
+        "sharded ingest reported: {stderr}"
+    );
 
     let augmented = arda::table::read_csv(&out).unwrap();
     assert_eq!(augmented.n_rows(), 60);
