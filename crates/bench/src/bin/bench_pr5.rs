@@ -1,0 +1,280 @@
+//! PR 5 storage sweep: typed binary columnar shards vs CSV — ingest and
+//! write throughput at worker counts 1 → max — plus the persistent-catalog
+//! manifest scan, cold vs warm. Writes `BENCH_PR5.json` so future PRs can
+//! compare against a recorded baseline (CI uploads it alongside
+//! `BENCH_PR1.json` / `BENCH_PR4.json`).
+//!
+//! ```text
+//! cargo run --release -p arda-bench --bin bench_pr5
+//! ```
+//!
+//! * **csv_read / csv_write** — the streaming CSV engine (64 KiB chunks,
+//!   two passes: parallel inference, parallel typed build).
+//! * **arda_read / arda_write** — the binary shard store: no parsing, no
+//!   inference; per-column regions decode/encode in parallel. Dtypes
+//!   (Timestamps included) survive bit-exactly.
+//! * **catalog_cold / catalog_warm** — `Repository::from_dir` over a
+//!   directory of binary shards with the `_catalog.arda` removed before
+//!   every scan (cold: one header read per shard + catalog rewrite) vs
+//!   left in place (warm: zero per-shard reads).
+//!
+//! Outputs are bit-identical across formats, budgets and catalog states
+//! (`crates/table/tests/store_roundtrip.rs`, `arda-discovery` tests); only
+//! the wall-clock changes. On a single-core host the sweep degenerates
+//! gracefully — `speedup` is then bounded by `available_parallelism`,
+//! which the JSON records.
+
+use arda_bench::timing::time_op;
+use arda_discovery::Repository;
+use arda_table::{
+    read_arda_bytes, read_csv_str_with, write_arda, write_csv, Column, CsvReadOptions, Table,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const WINDOW_SECS: f64 = 0.6;
+const N_ROWS: usize = 120_000;
+const N_SHARDS: usize = 24;
+
+/// Mixed-dtype workload: every column type (Timestamp included — the
+/// round-trip PR 5 fixes), nulls, and hostile strings that keep the CSV
+/// quote-aware scanner honest.
+fn synth_table(name: &str, rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let strs: Vec<Option<String>> = (0..rows)
+        .map(|i| {
+            if i % 23 == 0 {
+                None
+            } else {
+                Some(match i % 5 {
+                    0 => format!("plain_{i}"),
+                    1 => format!("with,comma_{i}"),
+                    2 => format!("say \"hi\" {i}"),
+                    3 => format!("line\nbreak_{i}"),
+                    _ => format!("αβ🦀_{i}"),
+                })
+            }
+        })
+        .collect();
+    Table::new(
+        name,
+        vec![
+            Column::from_i64("id", (0..rows as i64).collect()),
+            Column::from_timestamps("ts", (0..rows).map(|i| i as i64 * 3_600).collect()),
+            Column::from_f64("x", (0..rows).map(|_| rng.gen_range(-1e3..1e3)).collect()),
+            Column::from_f64_opt(
+                "y",
+                (0..rows)
+                    .map(|i| (i % 17 != 0).then(|| rng.gen_range(0.0..1.0)))
+                    .collect(),
+            ),
+            Column::from_i64("k", (0..rows).map(|_| rng.gen_range(0i64..500)).collect()),
+            Column::from_bool("flag", (0..rows).map(|i| i % 3 == 0).collect()),
+            Column::new("s", arda_table::ColumnData::Str(strs)),
+            Column::from_i64("g", (0..rows).map(|i| (i % 97) as i64).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+fn to_csv(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn to_arda(table: &Table) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_arda(table, &mut buf).unwrap();
+    buf
+}
+
+struct Sweep {
+    name: String,
+    /// (threads, rows/sec) per swept worker count.
+    by_threads: Vec<(usize, f64)>,
+}
+
+impl Sweep {
+    fn speedup(&self) -> f64 {
+        let one = self
+            .by_threads
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map_or(0.0, |(_, o)| *o);
+        let best = self
+            .by_threads
+            .iter()
+            .map(|(_, o)| *o)
+            .fold(0.0f64, f64::max);
+        if one > 0.0 {
+            best / one
+        } else {
+            0.0
+        }
+    }
+}
+
+fn sweep_rows(name: &str, counts: &[usize], rows_per_op: usize, mut f: impl FnMut()) -> Sweep {
+    let mut by_threads = Vec::new();
+    for &t in counts {
+        arda_par::set_default_threads(t);
+        let m = time_op(name, WINDOW_SECS, &mut f);
+        let rows_per_sec = m.ops_per_sec * rows_per_op as f64;
+        println!("  {name} @ {t} threads: {rows_per_sec:.0} rows/sec");
+        by_threads.push((t, rows_per_sec));
+    }
+    Sweep {
+        name: name.to_string(),
+        by_threads,
+    }
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, avail];
+    counts.sort_unstable();
+    counts.dedup();
+    println!("bench_pr5: binary store vs CSV, worker counts {counts:?} (available: {avail})");
+
+    let table = synth_table("ingest", N_ROWS, 42);
+    let csv_text = to_csv(&table);
+    let arda_bytes = to_arda(&table);
+    println!(
+        "workload: {N_ROWS} rows × {} cols — {:.1} MiB CSV, {:.1} MiB binary",
+        table.n_cols(),
+        csv_text.len() as f64 / (1024.0 * 1024.0),
+        arda_bytes.len() as f64 / (1024.0 * 1024.0),
+    );
+
+    // Cross-check once: the binary store round-trips bit-exactly (dtypes
+    // included), and re-encoding reproduces the byte stream.
+    let decoded = read_arda_bytes("ingest", &arda_bytes).unwrap();
+    assert_eq!(decoded.schema(), table.schema(), "dtypes preserved");
+    assert_eq!(to_arda(&decoded), arda_bytes, "decode∘encode is identity");
+
+    // ---- In-memory read/write sweeps -------------------------------------
+    let mut sweeps: Vec<Sweep> = Vec::new();
+    sweeps.push(sweep_rows("csv_read", &counts, N_ROWS, || {
+        black_box(read_csv_str_with("t", &csv_text, &CsvReadOptions::default()).unwrap());
+    }));
+    sweeps.push(sweep_rows("arda_read", &counts, N_ROWS, || {
+        black_box(read_arda_bytes("t", &arda_bytes).unwrap());
+    }));
+    sweeps.push(sweep_rows("csv_write", &counts, N_ROWS, || {
+        black_box(to_csv(&table));
+    }));
+    sweeps.push(sweep_rows("arda_write", &counts, N_ROWS, || {
+        black_box(to_arda(&table));
+    }));
+
+    // ---- Catalog: cold vs warm manifest scan -----------------------------
+    arda_par::set_default_threads(avail);
+    let dir = std::env::temp_dir().join(format!("arda_bench_pr5_{}", std::process::id()));
+    let shard_dir = dir.join("shards");
+    std::fs::create_dir_all(&shard_dir).unwrap();
+    let shard_rows = N_ROWS / N_SHARDS;
+    {
+        let src = Repository::from_tables(
+            (0..N_SHARDS)
+                .map(|s| synth_table(&format!("shard_{s:02}"), shard_rows, 100 + s as u64))
+                .collect(),
+        );
+        src.save_dir(&shard_dir).unwrap();
+    }
+    let catalog_path = shard_dir.join(arda_discovery::CATALOG_FILE);
+    let cold = time_op("catalog_cold", WINDOW_SECS, &mut || {
+        std::fs::remove_file(&catalog_path).ok();
+        let repo = Repository::from_dir(&shard_dir).unwrap();
+        assert!(!repo.catalog_hit() && repo.header_scans() == N_SHARDS);
+        black_box(repo.len());
+    });
+    let warm = time_op("catalog_warm", WINDOW_SECS, &mut || {
+        let repo = Repository::from_dir(&shard_dir).unwrap();
+        assert!(repo.catalog_hit() && repo.header_scans() == 0);
+        black_box(repo.len());
+    });
+    println!(
+        "  catalog over {N_SHARDS} shards: cold {:.1} scans/sec, warm {:.1} scans/sec ({:.2}x)",
+        cold.ops_per_sec,
+        warm.ops_per_sec,
+        warm.ops_per_sec / cold.ops_per_sec.max(1e-12)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ---- JSON report -----------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"pr\": 5,\n");
+    json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    json.push_str(&format!("  \"workload_rows\": {N_ROWS},\n"));
+    json.push_str(&format!("  \"csv_bytes\": {},\n", csv_text.len()));
+    json.push_str(&format!("  \"arda_bytes\": {},\n", arda_bytes.len()));
+    json.push_str(&format!("  \"n_shards\": {N_SHARDS},\n"));
+    json.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"catalog_cold_scans_per_sec\": {:.4},\n",
+        cold.ops_per_sec
+    ));
+    json.push_str(&format!(
+        "  \"catalog_warm_scans_per_sec\": {:.4},\n",
+        warm.ops_per_sec
+    ));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        json.push_str("      \"rows_per_sec\": {");
+        let cells: Vec<String> = s
+            .by_threads
+            .iter()
+            .map(|(t, o)| format!("\"{t}\": {o:.1}"))
+            .collect();
+        json.push_str(&cells.join(", "));
+        json.push_str("},\n");
+        json.push_str(&format!(
+            "      \"speedup_best_vs_1\": {:.4}\n",
+            s.speedup()
+        ));
+        json.push_str(if i + 1 < sweeps.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    println!("\nwrote BENCH_PR5.json");
+    let vs = |a: &str, b: &str| -> f64 {
+        let best = |n: &str| {
+            sweeps
+                .iter()
+                .find(|s| s.name == n)
+                .map(|s| s.by_threads.iter().map(|(_, o)| *o).fold(0.0f64, f64::max))
+                .unwrap_or(0.0)
+        };
+        best(a) / best(b).max(1e-12)
+    };
+    println!("  binary vs CSV read:  {:.2}x", vs("arda_read", "csv_read"));
+    println!(
+        "  binary vs CSV write: {:.2}x",
+        vs("arda_write", "csv_write")
+    );
+    for s in &sweeps {
+        println!(
+            "  {:12} best-vs-1-thread speedup: {:.2}x",
+            s.name,
+            s.speedup()
+        );
+    }
+}

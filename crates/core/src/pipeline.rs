@@ -517,4 +517,73 @@ mod tests {
         let repo = Repository::from_tables(sc.repository.clone());
         assert!(Arda::default().run(&sc.base, &repo, "nope").is_err());
     }
+
+    /// PR 5 acceptance: a Timestamp-bearing repository survives
+    /// `save_dir` → `from_dir` → pipeline with dtypes and values
+    /// bit-identical to the in-memory original — soft time keys and all —
+    /// and re-indexing an unchanged directory is a pure catalog hit.
+    #[test]
+    fn pipeline_identical_through_binary_store_round_trip() {
+        let sc = taxi(&ScenarioConfig {
+            n_rows: 120,
+            n_decoys: 3,
+            seed: 7,
+        });
+        // `from_dir` orders shards by file name, so build the eager
+        // reference in the same order (names are unique and `.arda`-safe).
+        let mut tables = sc.repository.clone();
+        tables.sort_by_key(|t| t.name().to_string());
+        assert!(
+            tables.iter().any(|t| t
+                .schema()
+                .fields()
+                .iter()
+                .any(|f| f.dtype == arda_table::DataType::Timestamp)),
+            "scenario must exercise the Timestamp round-trip"
+        );
+        let eager = Repository::from_tables(tables.clone());
+
+        let dir = std::env::temp_dir().join(format!("arda_core_store_rt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        eager.save_dir(&dir).unwrap();
+
+        let sharded = Repository::from_dir(&dir).unwrap();
+        assert_eq!(sharded.len(), eager.len());
+        for (i, t) in tables.iter().enumerate() {
+            let reloaded = sharded.table(i).unwrap();
+            assert_eq!(
+                *reloaded,
+                *t,
+                "shard {i} ({}) reloads bit-identically, dtypes included",
+                t.name()
+            );
+        }
+
+        // The pipeline over the reloaded store is bit-identical to the
+        // in-memory run: same discovery, same joins, same scores.
+        let a = Arda::new(fast_config(7))
+            .run(&sc.base, &eager, &sc.target)
+            .unwrap();
+        let b = Arda::new(fast_config(7))
+            .run(&sc.base, &sharded, &sc.target)
+            .unwrap();
+        assert_eq!(a.base_score.to_bits(), b.base_score.to_bits());
+        assert_eq!(a.augmented_score.to_bits(), b.augmented_score.to_bits());
+        assert_eq!(a.joins_executed, b.joins_executed);
+        let cols = |r: &AugmentationReport| -> Vec<String> {
+            r.selected
+                .iter()
+                .map(|s| format!("{}.{}", s.table, s.column))
+                .collect()
+        };
+        assert_eq!(cols(&a), cols(&b));
+        assert_eq!(a.augmented, b.augmented);
+
+        // Warm re-index: zero per-shard header reads, pure catalog hit.
+        let warm = Repository::from_dir(&dir).unwrap();
+        assert!(warm.catalog_hit());
+        assert_eq!(warm.header_scans(), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

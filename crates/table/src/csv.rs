@@ -3,8 +3,9 @@
 //! ARDA's inputs are *repositories* of heterogeneous tables fed by a
 //! discovery system (§2, Figure 1); CSV is the lingua franca. This module
 //! implements a streaming, budget-parallel RFC-4180 reader plus per-column
-//! type inference with the priority `Int → Float → Bool → Str`; empty
-//! fields become nulls.
+//! type inference with the priority
+//! `Timestamp(@tick) → Int → finite Float → Bool → Str`; empty fields
+//! become nulls.
 //!
 //! ## The streaming engine
 //!
@@ -48,6 +49,21 @@
 //!   ending in `\r` would otherwise be silently truncated on read-back).
 //! * Writing always round-trips: quoted fields escape `"` as `""` and are
 //!   emitted for any field containing `,`, `"`, `\n` or `\r`.
+//! * `Timestamp` columns write as `@<tick>` and read back as `Timestamp`
+//!   (a column must be *all* `@tick`-or-null to infer as `Timestamp`;
+//!   mixed with anything else it is text).
+//!
+//! ## Type-surface limits (use the binary [`crate::store`] format instead)
+//!
+//! CSV text cannot distinguish `Str("7")` from `Int(7)`, `Str("@5")` from
+//! `Timestamp(5)`, or `Str("inf")` from `Float(∞)`. Inference resolves the
+//! first two in favour of the typed reading, and the third in favour of
+//! `Str`: Float inference admits **finite** literals only, so non-finite
+//! values in a Float column degrade to a `Str` column of `inf`/`NaN`
+//! tokens on re-read (previously such *text* columns silently became
+//! non-finite Float columns that poison k-NN/Relief distances). The
+//! `.arda` binary shard format round-trips all five dtypes bit-exactly
+//! and is the right store for anything that must survive persistence.
 
 use crate::{Column, ColumnData, Result, Table, TableError};
 use std::io::Read;
@@ -77,12 +93,32 @@ enum Inferred {
     Float,
     Bool,
     Str,
+    Timestamp,
 }
 
+/// Per-cell type inference with the priority
+/// `Timestamp(@tick) → Int → finite Float → Bool → Str`.
+///
+/// * `@<i64>` is the [`crate::Value::Timestamp`] display form, so a column
+///   [`write_csv`] emitted from a Timestamp column reads back as
+///   `Timestamp` — the CSV leg of the PR 5 round-trip bugfix (previously
+///   such columns silently degraded to `Str`).
+/// * Float inference accepts **finite** literals only: tokens like
+///   `inf` / `-inf` / `NaN` / `Infinity` / `1e999` stay `Str`. Otherwise an
+///   all-text column of such tokens became a Float column of non-finite
+///   values that poison k-NN/Relief distances downstream. The trade-off
+///   (documented in the module docs) is that non-finite values in a real
+///   Float column do not survive a CSV round-trip — use the binary
+///   [`crate::store`] format, which round-trips every bit pattern.
 fn infer_one(s: &str) -> Inferred {
+    if let Some(tick) = s.strip_prefix('@') {
+        if tick.parse::<i64>().is_ok() {
+            return Inferred::Timestamp;
+        }
+    }
     if s.parse::<i64>().is_ok() {
         Inferred::Int
-    } else if s.parse::<f64>().is_ok() {
+    } else if s.parse::<f64>().is_ok_and(f64::is_finite) {
         Inferred::Float
     } else if matches!(s, "true" | "false" | "TRUE" | "FALSE" | "True" | "False") {
         Inferred::Bool
@@ -93,7 +129,8 @@ fn infer_one(s: &str) -> Inferred {
 
 /// Widen `a` to cover `b`. Associative and commutative, so the per-block
 /// fold order cannot change the merged type (the fold still runs in block
-/// order for determinism by construction).
+/// order for determinism by construction). `Timestamp` only unifies with
+/// itself — `@tick` mixed with anything else is text.
 fn unify(a: Inferred, b: Inferred) -> Inferred {
     use Inferred::*;
     match (a, b) {
@@ -452,6 +489,7 @@ fn new_builder(t: Inferred, capacity: usize) -> ColumnData {
         Inferred::Float => ColumnData::Float(Vec::with_capacity(capacity)),
         Inferred::Bool => ColumnData::Bool(Vec::with_capacity(capacity)),
         Inferred::Str => ColumnData::Str(Vec::with_capacity(capacity)),
+        Inferred::Timestamp => ColumnData::Timestamp(Vec::with_capacity(capacity)),
     }
 }
 
@@ -474,10 +512,20 @@ fn push_field(data: &mut ColumnData, field: &str) -> Result<()> {
     }
     let changed = || TableError::Csv("input changed between streaming passes".into());
     match data {
-        ColumnData::Int(v) | ColumnData::Timestamp(v) => {
-            v.push(Some(field.parse::<i64>().map_err(|_| changed())?))
+        ColumnData::Int(v) => v.push(Some(field.parse::<i64>().map_err(|_| changed())?)),
+        ColumnData::Timestamp(v) => {
+            let tick = field.strip_prefix('@').ok_or_else(changed)?;
+            v.push(Some(tick.parse::<i64>().map_err(|_| changed())?))
         }
-        ColumnData::Float(v) => v.push(Some(field.parse::<f64>().map_err(|_| changed())?)),
+        ColumnData::Float(v) => {
+            let x = field.parse::<f64>().map_err(|_| changed())?;
+            if !x.is_finite() {
+                // Inference only admits finite literals; a non-finite one
+                // here means the source changed between the two passes.
+                return Err(changed());
+            }
+            v.push(Some(x))
+        }
         ColumnData::Bool(v) => match field {
             "true" | "TRUE" | "True" => v.push(Some(true)),
             "false" | "FALSE" | "False" => v.push(Some(false)),
@@ -881,6 +929,88 @@ mod tests {
         let t = read_csv_str("t", "a,b\n1,2\n3,4\r").unwrap();
         assert_eq!(t.n_rows(), 2);
         assert_eq!(t.column("a").unwrap().get(1), Value::Int(3));
+    }
+
+    // ---- PR 5 regression tests -------------------------------------------
+
+    /// Bugfix: a `Timestamp` column survives `write_csv` → read with dtype
+    /// and values identical. Previously `@tick` strings read back as `Str`
+    /// (the `Inferred` enum had no `Timestamp` variant), so every
+    /// persisted repository lost its soft time keys.
+    #[test]
+    fn timestamp_round_trip() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new(
+                    "ts",
+                    ColumnData::Timestamp(vec![Some(86_400), None, Some(-7), Some(0)]),
+                ),
+                Column::from_i64("k", vec![1, 2, 3, 4]),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("@86400"), "@tick syntax written: {text:?}");
+        for chunk_size in [3usize, 64, usize::MAX] {
+            let back = read_csv_str_with("t", &text, &CsvReadOptions { chunk_size }).unwrap();
+            assert_eq!(back, t, "chunk_size={chunk_size}");
+            assert_eq!(back.column("ts").unwrap().dtype(), DataType::Timestamp);
+            assert_eq!(back.column("k").unwrap().dtype(), DataType::Int);
+        }
+    }
+
+    /// `@tick` mixed with non-timestamp values (or malformed `@` tokens)
+    /// stays text — only an all-`@tick` column infers as `Timestamp`.
+    #[test]
+    fn malformed_or_mixed_ticks_stay_str() {
+        for text in ["x\n@5\n6\n", "x\n@5\nhello\n", "x\n@\n@1.5\n", "x\n@@3\n"] {
+            let t = read_csv_str("t", text).unwrap();
+            assert_eq!(t.column("x").unwrap().dtype(), DataType::Str, "{text:?}");
+        }
+        // Null cells don't block timestamp inference.
+        let t = read_csv_str("t", "x\n@5\n\n@-6\n").unwrap();
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Timestamp);
+        assert_eq!(t.column("x").unwrap().get(1), Value::Null);
+        assert_eq!(t.column("x").unwrap().get(2), Value::Timestamp(-6));
+    }
+
+    /// Bugfix: non-finite float literals no longer infer as `Float`. An
+    /// all-text column of `inf`/`NaN`-style tokens used to become a Float
+    /// column whose non-finite values poison k-NN/Relief distances.
+    #[test]
+    fn non_finite_tokens_stay_str() {
+        let t = read_csv_str("t", "x\ninf\nNaN\n-inf\nInfinity\n1e999\n").unwrap();
+        let col = t.column("x").unwrap();
+        assert_eq!(col.dtype(), DataType::Str);
+        assert_eq!(col.get(0), Value::Str("inf".into()));
+        assert_eq!(col.get(4), Value::Str("1e999".into()));
+        // Finite literals still widen Int → Float as before.
+        let t = read_csv_str("t", "x\n1\n2.5e3\n").unwrap();
+        assert_eq!(t.column("x").unwrap().dtype(), DataType::Float);
+    }
+
+    /// The documented CSV degradation: non-finite values in a *real* Float
+    /// column come back as their text tokens (`Str`), values preserved as
+    /// strings — not silently re-typed. The binary store round-trips them
+    /// exactly; this pin makes the CSV trade-off explicit.
+    #[test]
+    fn non_finite_floats_degrade_to_str_on_csv_round_trip() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("x", vec![1.5, f64::INFINITY, f64::NAN])],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv_str("t", std::str::from_utf8(&buf).unwrap()).unwrap();
+        let col = back.column("x").unwrap();
+        assert_eq!(col.dtype(), DataType::Str);
+        assert_eq!(col.get(0), Value::Str("1.5".into()));
+        assert_eq!(col.get(1), Value::Str("inf".into()));
+        assert_eq!(col.get(2), Value::Str("NaN".into()));
     }
 
     #[test]

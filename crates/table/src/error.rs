@@ -25,6 +25,9 @@ pub enum TableError {
     RowOutOfBounds { index: usize, len: usize },
     /// CSV parsing failed.
     Csv(String),
+    /// Binary shard store encode/decode failed (bad magic, truncated
+    /// payload, corrupt offsets, ...). Always an error, never a panic.
+    Store(String),
     /// Generic invalid-argument error.
     Invalid(String),
 }
@@ -58,6 +61,7 @@ impl fmt::Display for TableError {
                 write!(f, "row index {index} out of bounds for table of {len} rows")
             }
             TableError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TableError::Store(msg) => write!(f, "store error: {msg}"),
             TableError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
         }
     }

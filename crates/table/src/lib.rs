@@ -18,6 +18,11 @@
 //!   RFC-4180 reader that parses and infers on the ambient [`arda_par`]
 //!   work budget under bounded memory (see the `csv` module docs), plus a
 //!   round-trip-safe writer.
+//! * A typed binary columnar shard format (`.arda`): length-prefixed
+//!   little-endian columns with null bitmaps that round-trip every
+//!   [`DataType`] bit-exactly — including `Timestamp`, which CSV cannot
+//!   express — with budget-parallel per-column encode/decode and a cheap
+//!   header-only scan (see the [`store`] module docs for the byte layout).
 //!
 //! The engine is deliberately small: ARDA needs LEFT-join-friendly row
 //! addressing, group-by aggregation and cheap columnar access, not a full
@@ -29,6 +34,7 @@ mod display;
 mod error;
 mod groupby;
 mod schema;
+pub mod store;
 mod table;
 mod value;
 
@@ -40,6 +46,9 @@ pub use csv::{
 pub use error::TableError;
 pub use groupby::{AggExpr, Aggregation, GroupBy};
 pub use schema::{DataType, Field, Schema};
+pub use store::{
+    read_arda, read_arda_bytes, read_arda_header, write_arda, write_arda_file, ShardHeader,
+};
 pub use table::Table;
 pub use value::{Key, Value};
 

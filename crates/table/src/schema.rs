@@ -27,6 +27,34 @@ impl DataType {
             DataType::Int | DataType::Float | DataType::Timestamp | DataType::Bool
         )
     }
+
+    /// All data types, in their stable wire-tag order (see the `store`
+    /// module: the binary shard format assigns tag `i` to `all()[i]`).
+    pub fn all() -> [DataType; 5] {
+        [
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Bool,
+            DataType::Timestamp,
+        ]
+    }
+}
+
+impl std::str::FromStr for DataType {
+    type Err = TableError;
+
+    /// Inverse of [`fmt::Display`]; used by the shard-catalog encoding.
+    fn from_str(s: &str) -> Result<DataType> {
+        match s {
+            "int" => Ok(DataType::Int),
+            "float" => Ok(DataType::Float),
+            "str" => Ok(DataType::Str),
+            "bool" => Ok(DataType::Bool),
+            "timestamp" => Ok(DataType::Timestamp),
+            other => Err(TableError::Invalid(format!("unknown dtype `{other}`"))),
+        }
+    }
 }
 
 impl fmt::Display for DataType {
@@ -151,5 +179,14 @@ mod tests {
     fn display_names() {
         assert_eq!(DataType::Timestamp.to_string(), "timestamp");
         assert_eq!(DataType::Str.to_string(), "str");
+    }
+
+    #[test]
+    fn dtype_display_from_str_round_trip() {
+        for dt in DataType::all() {
+            assert_eq!(dt.to_string().parse::<DataType>().unwrap(), dt);
+        }
+        assert!("datetime".parse::<DataType>().is_err());
+        assert!("".parse::<DataType>().is_err());
     }
 }

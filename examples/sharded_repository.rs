@@ -1,4 +1,6 @@
-//! Directory-sharded repository: ARDA over a folder of CSV shards.
+//! Directory-sharded repository: ARDA over a folder of shards, then the
+//! same repository converted to the typed binary store and reloaded
+//! through the persistent catalog.
 //!
 //! ARDA's repository is normally fed by a discovery system crawling
 //! thousands of tables — far more than fit in memory at once. This example
@@ -9,15 +11,19 @@
 //! only when discovery or a join batch first touches them, and the LRU
 //! bound evicts cold ones as mining moves on.
 //!
+//! It then converts the CSV shards to typed binary `.arda` shards with
+//! `Repository::save_dir` — dtypes survive exactly, and the written
+//! `_catalog.arda` means re-indexing the directory does **zero** header
+//! reads — and reruns the pipeline over the binary store, checking the
+//! result is bit-identical.
+//!
 //! Run with: `cargo run --release --example sharded_repository`
 
 use arda::prelude::*;
 
 fn main() {
     // The School scenario: base table + repository tables (funding,
-    // demographics, decoys) with planted signal. Its keys are integers and
-    // strings, which round-trip CSV exactly (timestamps would come back as
-    // ints — CSV has no timestamp syntax).
+    // demographics, decoys) with planted signal.
     let scenario = arda::synth::school(
         &ScenarioConfig {
             n_rows: 160,
@@ -66,7 +72,7 @@ fn main() {
         seed: 11,
         ..Default::default()
     };
-    let report = Arda::new(config)
+    let report = Arda::new(config.clone())
         .run(&scenario.base, &repo, &scenario.target)
         .expect("pipeline");
 
@@ -82,6 +88,44 @@ fn main() {
         println!("  selected {} (from shard {})", s.column, s.table);
     }
     assert!(repo.resident_shards() <= 2, "LRU bound held during the run");
+
+    // ---- Convert to the typed binary store + persistent catalog ---------
+    // `save_dir` re-encodes every shard as a `.arda` binary columnar file
+    // (all five dtypes survive bit-exactly — timestamps included, which
+    // CSV only keeps via `@tick` text) and writes `_catalog.arda`.
+    let bin_dir = dir.join("binary");
+    repo.save_dir(&bin_dir)
+        .expect("convert CSV shards to binary");
+
+    // Re-indexing the converted directory is a pure catalog hit: the
+    // manifest (names, widths, dtypes, row counts) loads without opening
+    // a single shard.
+    let bin_repo = Repository::from_dir(&bin_dir)
+        .expect("index binary shards")
+        .with_cache_capacity(2);
+    println!(
+        "reloaded {} binary shard(s) via catalog: hit={}, header reads={}",
+        bin_repo.len(),
+        bin_repo.catalog_hit(),
+        bin_repo.header_scans()
+    );
+    assert!(bin_repo.catalog_hit(), "catalog satisfied the manifest");
+    assert_eq!(bin_repo.header_scans(), 0, "zero per-shard header reads");
+
+    let report_bin = Arda::new(config)
+        .run(&scenario.base, &bin_repo, &scenario.target)
+        .expect("pipeline over binary store");
+    println!(
+        "binary store rerun: base {:.4} → augmented {:.4} ({:+.1}%)",
+        report_bin.base_score,
+        report_bin.augmented_score,
+        report_bin.improvement_pct()
+    );
+    assert_eq!(
+        report.augmented_score.to_bits(),
+        report_bin.augmented_score.to_bits(),
+        "CSV and binary stores drive bit-identical pipelines"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,21 +1,28 @@
 //! `arda-cli` — run the ARDA augmentation pipeline on CSV files.
 //!
 //! ```text
-//! arda-cli --base base.csv --target <column> --repo dir_of_csvs/ \
+//! arda-cli --base base.csv --target <column> --repo dir_of_shards/ \
 //!          [--out augmented.csv] [--selector rifs|rf|ftest|mi|all] \
 //!          [--plan budget|table|full] [--tr <tau>] [--seed <n>] \
-//!          [--cache-tables <n>]
+//!          [--cache-tables <n>] [--save-repo <dir>]
 //! ```
 //!
 //! The repository directory is ingested as a **sharded repository**: every
-//! `*.csv` becomes a shard whose header is scanned up front (the manifest)
-//! and whose body is streamed in — chunked, quote-aware, parallel on the
-//! work budget — only when the pipeline first touches it. `--cache-tables`
+//! `*.csv` and `*.arda` file becomes a shard whose header is scanned up
+//! front (the manifest) and whose body is loaded — CSV streamed chunked
+//! and quote-aware, binary shards decoded per column, both parallel on
+//! the work budget — only when the pipeline first touches it. A fresh
+//! `_catalog.arda` in the directory makes the manifest scan free: the
+//! whole index (names, widths, dtypes, row counts) is validated against
+//! file mtimes/sizes and reused with zero header reads. `--cache-tables`
 //! bounds how many loaded shards stay resident (LRU eviction), so
-//! repositories larger than memory still run. The base table is read with
-//! the same streaming engine, then candidate joins are discovered, the
-//! pipeline runs, and the augmented table (base coreset + selected foreign
-//! columns) is written as CSV.
+//! repositories larger than memory still run. `--save-repo <dir>`
+//! converts the repository into typed binary shards + catalog at `<dir>`
+//! (Timestamps and every other dtype survive exactly; may be used alone,
+//! without `--base`/`--target`, as a pure conversion). Otherwise the base
+//! table is read with the streaming engine, candidate joins are
+//! discovered, the pipeline runs, and the augmented table (base coreset +
+//! selected foreign columns) is written as CSV.
 
 use arda::prelude::*;
 use std::path::PathBuf;
@@ -31,6 +38,7 @@ struct Args {
     tr: Option<f64>,
     seed: u64,
     cache_tables: Option<usize>,
+    save_repo: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         tr: None,
         seed: 0,
         cache_tables: None,
+        save_repo: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,28 +85,50 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.cache_tables = Some(n);
             }
+            "--save-repo" => args.save_repo = Some(PathBuf::from(value("--save-repo")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    if args.base.as_os_str().is_empty()
-        || args.target.is_empty()
-        || args.repo.as_os_str().is_empty()
-    {
-        return Err(format!("--base, --target and --repo are required\n{USAGE}"));
+    if args.repo.as_os_str().is_empty() {
+        return Err(format!("--repo is required\n{USAGE}"));
+    }
+    // --base and --target come together or not at all; only a --save-repo
+    // run may omit the pair (pure conversion). Supplying exactly one is
+    // always a usage error — silently skipping the pipeline would let a
+    // typo'd invocation exit 0 without the output the caller expected.
+    let base_given = !args.base.as_os_str().is_empty();
+    let target_given = !args.target.is_empty();
+    if base_given != target_given {
+        return Err(format!(
+            "--base and --target must be given together\n{USAGE}"
+        ));
+    }
+    if !base_given && args.save_repo.is_none() {
+        return Err(format!(
+            "--base and --target are required (unless only converting with --save-repo)\n{USAGE}"
+        ));
     }
     Ok(args)
 }
 
 const USAGE: &str = "usage: arda-cli --base base.csv --target <column> --repo <dir> \
 [--out augmented.csv] [--selector rifs|rf|ftest|mi|all] [--plan budget|table|full] \
-[--tr <tau>] [--seed <n>] [--cache-tables <n>]
+[--tr <tau>] [--seed <n>] [--cache-tables <n>] [--save-repo <dir>]
 
-  --repo <dir>       directory of CSV shards, ingested lazily: headers are
-                     scanned up front, bodies stream in (parallel, chunked)
-                     on first use by discovery or a join batch
+  --repo <dir>       directory of .csv / .arda shards, ingested lazily:
+                     headers are scanned up front (or, when a fresh
+                     _catalog.arda covers the directory, skipped entirely),
+                     bodies load in parallel on first use by discovery or
+                     a join batch
   --cache-tables <n> keep at most <n> loaded shards resident (LRU); default
-                     unbounded — use for repositories larger than memory";
+                     unbounded — use for repositories larger than memory
+  --save-repo <dir>  convert the repository to typed binary .arda shards
+                     plus a _catalog.arda at <dir>; preserves all dtypes
+                     exactly (incl. timestamps, which CSV only keeps via
+                     @tick text) and makes later runs start warm. With
+                     --save-repo, --base/--target become optional: omit
+                     them for a pure conversion run";
 
 fn selector_from(name: &str) -> Result<SelectorKind, String> {
     Ok(match name {
@@ -121,26 +152,46 @@ fn plan_from(name: &str) -> Result<JoinPlan, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let base = arda::table::read_csv(&args.base).map_err(|e| e.to_string())?;
-    base.column(&args.target)
-        .map_err(|_| format!("target column `{}` not found in base table", args.target))?;
-
     let mut repo = Repository::from_dir(&args.repo).map_err(|e| e.to_string())?;
     if let Some(cap) = args.cache_tables {
         repo = repo.with_cache_capacity(cap);
     }
     if repo.is_empty() {
-        return Err(format!("no .csv files found in {}", args.repo.display()));
+        return Err(format!(
+            "no .csv or .arda files found in {}",
+            args.repo.display()
+        ));
     }
     eprintln!(
-        "loaded base ({} rows); indexed {} repository shard(s) (lazy{})",
-        base.n_rows(),
+        "indexed {} repository shard(s) ({}; lazy{})",
         repo.len(),
+        if repo.catalog_hit() {
+            "catalog hit, 0 header reads".to_string()
+        } else {
+            format!("cold scan, {} header reads", repo.header_scans())
+        },
         match args.cache_tables {
             Some(cap) => format!(", cache {cap}"),
             None => String::new(),
         }
     );
+
+    if let Some(out_dir) = &args.save_repo {
+        repo.save_dir(out_dir).map_err(|e| e.to_string())?;
+        eprintln!(
+            "saved {} shard(s) as typed binary .arda + _catalog.arda in {}",
+            repo.len(),
+            out_dir.display()
+        );
+        if args.base.as_os_str().is_empty() || args.target.is_empty() {
+            return Ok(()); // pure conversion run
+        }
+    }
+
+    let base = arda::table::read_csv(&args.base).map_err(|e| e.to_string())?;
+    base.column(&args.target)
+        .map_err(|_| format!("target column `{}` not found in base table", args.target))?;
+    eprintln!("loaded base ({} rows)", base.n_rows());
     let config = ArdaConfig {
         selector: selector_from(&args.selector)?,
         join_plan: plan_from(&args.plan)?,

@@ -58,7 +58,7 @@ fn cli_augments_csv_repository() {
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
-        stderr.contains("indexed 2 repository shard(s) (lazy, cache 1)"),
+        stderr.contains("indexed 2 repository shard(s)") && stderr.contains("cache 1"),
         "sharded ingest reported: {stderr}"
     );
 
@@ -72,6 +72,73 @@ fn cli_augments_csv_repository() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--save-repo` without `--base`/`--target` is a pure conversion run:
+/// CSV shards become typed binary `.arda` shards plus a `_catalog.arda`,
+/// and a pipeline run over the converted directory starts warm (catalog
+/// hit, zero header reads) and still augments.
+#[test]
+fn cli_save_repo_converts_and_reloads_via_catalog() {
+    let dir = std::env::temp_dir().join(format!("arda_cli_save_{}", std::process::id()));
+    let repo = dir.join("repo");
+    let bin_repo = dir.join("repo_bin");
+    std::fs::create_dir_all(&repo).unwrap();
+
+    let mut base_csv = String::from("key,y\n");
+    let mut ext_csv = String::from("key,boost\n");
+    for i in 0..60 {
+        let boost = (i * 7 % 13) as f64;
+        base_csv.push_str(&format!("{i},{}\n", 2.0 * boost + 1.0));
+        ext_csv.push_str(&format!("{i},{boost}\n"));
+    }
+    write(&dir.join("base.csv"), &base_csv);
+    write(&repo.join("ext.csv"), &ext_csv);
+
+    // Conversion-only: no --base / --target.
+    let output = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
+        .args([
+            "--repo",
+            repo.to_str().unwrap(),
+            "--save-repo",
+            bin_repo.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run arda-cli");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(bin_repo.join("ext.arda").exists(), "binary shard written");
+    assert!(bin_repo.join("_catalog.arda").exists(), "catalog written");
+
+    // Pipeline over the converted directory: warm start, same signal.
+    let out = dir.join("augmented.csv");
+    let output = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
+        .args([
+            "--base",
+            dir.join("base.csv").to_str().unwrap(),
+            "--target",
+            "y",
+            "--repo",
+            bin_repo.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--selector",
+            "rf",
+        ])
+        .output()
+        .expect("run arda-cli");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stderr: {stderr}");
+    assert!(
+        stderr.contains("catalog hit, 0 header reads"),
+        "warm manifest reported: {stderr}"
+    );
+    let augmented = arda::table::read_csv(&out).unwrap();
+    assert!(augmented.column("boost").is_ok(), "signal column selected");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cli_reports_usage_errors() {
     let out = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
@@ -82,6 +149,20 @@ fn cli_reports_usage_errors() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("required") || stderr.contains("usage"),
+        "stderr: {stderr}"
+    );
+
+    // --base without --target is a usage error even with --save-repo —
+    // it must not silently convert-and-exit-0 while skipping the
+    // pipeline the caller asked for.
+    let out = Command::new(env!("CARGO_BIN_EXE_arda-cli"))
+        .args(["--base", "b.csv", "--repo", "r", "--save-repo", "s"])
+        .output()
+        .expect("run arda-cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--base and --target must be given together"),
         "stderr: {stderr}"
     );
 }
